@@ -1,0 +1,33 @@
+"""Shared helper: print paper-vs-measured tables for every experiment.
+
+Each bench prints the rows the paper reports next to what this
+reproduction measures, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the whole evaluation section at once.  The same rows are
+attached to pytest-benchmark's ``extra_info`` so they land in the JSON
+output when ``--benchmark-json`` is used.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render one experiment's comparison table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def us(seconds: float) -> str:
+    """Format seconds as microseconds."""
+    return f"{seconds * 1e6:.0f} us"
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"

@@ -1,0 +1,71 @@
+"""E2 — the Section 4.2 end-to-end RL result.
+
+Paper: "an implementation in Spark is 9x slower than the single-threaded
+implementation due to system overhead.  An implementation in our
+prototype is 7x faster than the single-threaded version and 63x faster
+than the Spark implementation."
+
+Workload: evolution-strategies training on the synthetic Atari game —
+64 simulations of ~7 ms alternating with 8 GPU fit shards per iteration
+(heterogeneous CPU/GPU tasks, R4), on a simulated 2-node x 4-CPU + 1-GPU
+cluster.  All engines run the *same* computation; serial, BSP, and ours
+produce bit-identical learned weights.
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines.bsp import BSPConfig
+from repro.workloads.rl import RLConfig, run_bsp, run_ours, run_serial
+from _tables import print_table
+
+CONFIG = RLConfig(iterations=5, rollouts_per_iteration=64, num_fit_shards=8)
+CLUSTER = dict(num_nodes=2, num_cpus=4, num_gpus=1)
+
+
+def _run_all() -> dict:
+    serial = run_serial(CONFIG)
+    bsp = run_bsp(
+        CONFIG, BSPConfig(total_cores=CLUSTER["num_nodes"] * CLUSTER["num_cpus"])
+    )
+    repro.init(backend="sim", **CLUSTER)
+    ours = run_ours(CONFIG)
+    repro.shutdown()
+    return {"serial": serial, "bsp": bsp, "ours": ours}
+
+
+def test_e2_rl_speedup(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    serial, bsp, ours = results["serial"], results["bsp"], results["ours"]
+
+    bsp_slowdown = bsp.total_time / serial.total_time
+    our_speedup = serial.total_time / ours.total_time
+    vs_bsp = bsp.total_time / ours.total_time
+
+    print_table(
+        "E2: Section 4.2 RL workload (alternating simulations and GPU fits)",
+        ["engine", "time (s)", "vs serial", "paper says"],
+        [
+            ("serial", f"{serial.total_time:.3f}", "1.0x", "1x (reference)"),
+            ("Spark-like BSP", f"{bsp.total_time:.3f}",
+             f"{1 / bsp_slowdown:.2f}x", "9x slower"),
+            ("ours", f"{ours.total_time:.3f}",
+             f"{our_speedup:.1f}x faster", "7x faster"),
+            ("ours vs BSP", "-", f"{vs_bsp:.1f}x", "63x"),
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "bsp_slowdown_vs_serial": round(bsp_slowdown, 2),
+            "our_speedup_vs_serial": round(our_speedup, 2),
+            "our_speedup_vs_bsp": round(vs_bsp, 2),
+        }
+    )
+
+    # Identical computation across engines:
+    assert np.allclose(serial.weights, bsp.weights)
+    assert np.allclose(serial.weights, ours.weights)
+    # The paper's shape:
+    assert 6.0 <= bsp_slowdown <= 12.0, "paper: BSP ~9x slower than serial"
+    assert 4.0 <= our_speedup <= 12.0, "paper: ours ~7x faster than serial"
+    assert 35.0 <= vs_bsp <= 100.0, "paper: ours ~63x faster than BSP"

@@ -1,0 +1,14 @@
+"""Benchmark fixtures: clean runtime slate around every bench."""
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    if repro.is_initialized():
+        repro.shutdown()
+    yield
+    if repro.is_initialized():
+        repro.shutdown()

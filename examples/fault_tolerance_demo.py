@@ -1,0 +1,54 @@
+"""Transparent fault tolerance (R6): kill a node mid-job, watch recovery.
+
+A long-running job loses one of its nodes halfway through.  The failure
+monitor detects the missed heartbeats, re-places orphaned tasks from the
+task table, and lineage replay reconstructs lost objects — the driver's
+``get`` returns the correct results without any application-level
+handling.
+
+    python examples/fault_tolerance_demo.py
+"""
+
+import repro
+from repro.tools import run_report
+
+
+@repro.remote(duration=0.25)
+def chunk_sum(chunk_id, n):
+    """A quarter-second shard of a big computation."""
+    base = chunk_id * n
+    return sum(range(base, base + n))
+
+
+def main() -> None:
+    runtime = repro.init(backend="sim", num_nodes=4, num_cpus=2, seed=1)
+    victim = runtime.node_ids[2]
+
+    refs = [chunk_sum.remote(i, 1000) for i in range(24)]
+    print(f"submitted 24 tasks of 0.25s across "
+          f"{len(runtime.node_ids)} nodes ({runtime.cluster.total_cpus} CPUs)")
+
+    # Pull the plug on one node at t=0.4s, mid-job.
+    runtime.kill_node_at(victim, at_time=0.4)
+    print(f"scheduled failure of {victim} at t=0.4s...")
+
+    values = repro.get(refs)
+    expected = [sum(range(i * 1000, i * 1000 + 1000)) for i in range(24)]
+    assert values == expected, "recovered results must be correct"
+
+    print(f"\nall 24 results correct despite the failure ✓")
+    print(f"finished at t={repro.now():.3f}s "
+          "(a failure-free run takes ~0.8s; recovery cost is mostly the "
+          f"{runtime.costs.heartbeat_timeout:.1f}s detection timeout)")
+    stats = runtime.stats()
+    print(f"nodes declared dead: {stats['nodes_declared_dead']}, "
+          f"tasks recovered: {runtime.monitor.tasks_recovered}, "
+          f"lineage replays: {stats['reconstructions']}")
+
+    print("\nfull run report (R7 tooling):")
+    print(run_report(runtime, include_gantt=True))
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

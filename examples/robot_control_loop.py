@@ -1,0 +1,141 @@
+"""The paper's Section 2 motivating example, end to end.
+
+"A physical robot attempts to achieve a goal in an unfamiliar real-world
+environment.  Various sensors may fuse video and LIDAR input to build
+multiple candidate models of the robot's environment (Fig. 2a).  The
+robot is then controlled in real time using actions informed by a
+recurrent neural network policy (Fig. 2c), as well as by Monte Carlo tree
+search (Fig. 2b)."
+
+Every control period (50 ms) this loop:
+  1. launches heterogeneous sensor preprocessing + fusion tasks (Fig. 2a),
+  2. launches a fast RNN-policy action task and a slower MCTS planning
+     task that dynamically spawns rollout tasks (Fig. 2b/2c, R3/R4),
+  3. uses ``wait`` with a deadline to take the *best answer available in
+     time* — the planner's action if it beat the deadline, else the
+     policy's (R1: a straggler must not block the control loop).
+
+    python examples/robot_control_loop.py
+"""
+
+import numpy as np
+
+import repro
+from repro.workloads.atari import NUM_ACTIONS, LinearPolicy, SyntheticAtariEnv
+from repro.workloads.sensor_fusion import SensorConfig, fuse, make_reading, preprocess
+
+CONTROL_PERIOD = 0.050     # 20 Hz control
+NUM_TICKS = 30
+PLAN_BRANCHES = 4
+SENSORS = SensorConfig(
+    preprocess_durations=(0.006, 0.004, 0.002, 0.0005), fuse_duration=0.002
+)
+
+preprocess_task = repro.RemoteFunction(preprocess, name="preprocess")
+fuse_task = repro.RemoteFunction(fuse, name="fuse")
+
+
+@repro.remote(duration=0.002)
+def rnn_policy_action(env_model, observation, weights):
+    """Fast reactive policy (Fig. 2c): one forward pass."""
+    estimate = env_model["estimate"]
+    blended = observation.copy()
+    n = min(len(estimate), len(observation))
+    blended[:n] = 0.7 * observation[:n] + 0.3 * estimate[:n]
+    return int(np.argmax(weights @ blended))
+
+
+# Simulation lengths vary with what happens in them ("the simulation
+# length may depend on whether the robot achieves its goal or not", R4):
+# most branches take ~8 ms, some straggle hard and blow the deadline.
+@repro.remote(duration=lambda rng, _args: 0.008 * (8.0 if rng.random() < 0.2 else 1.0))
+def plan_rollout(observation, action, env_seed):
+    """One planning simulation (Fig. 2b): score one action branch."""
+    env = SyntheticAtariEnv(seed=env_seed, horizon=8)
+    env._state = observation * 2.0  # start near the observed state
+    total = 0.0
+    obs, reward, done = env.step(action)
+    total += reward
+    probe = LinearPolicy.random(seed=env_seed + 1, scale=0.5)
+    steps = 0
+    while not done and steps < 6:
+        obs, reward, done = env.step(probe.act(obs))
+        total += reward
+        steps += 1
+    return action, total
+
+
+@repro.remote
+def mcts_plan(env_model, observation, env_seed):
+    """Planning task: dynamically spawns one rollout per branch (R3)."""
+    refs = [
+        plan_rollout.remote(observation, action, env_seed)
+        for action in range(PLAN_BRANCHES)
+    ]
+    scored = yield repro.Get(refs)
+    best_action, _best_value = max(scored, key=lambda pair: pair[1])
+    return int(best_action)
+
+
+def main() -> None:
+    repro.init(backend="sim", num_nodes=3, num_cpus=4, seed=0)
+    env = SyntheticAtariEnv(seed=0, horizon=NUM_TICKS + 1)
+    observation = env.reset()
+    weights = LinearPolicy.random(seed=3, scale=0.3).weights
+    total_reward = 0.0
+    decisions = {"planner": 0, "policy": 0}
+    latencies = []
+
+    print(f"controlling the robot at {1 / CONTROL_PERIOD:.0f} Hz for "
+          f"{NUM_TICKS} ticks...\n")
+    for tick in range(NUM_TICKS):
+        tick_start = repro.now()
+
+        # Fig. 2a: heterogeneous sensing -> fused environment model.
+        feature_refs = [
+            preprocess_task.options(
+                duration=SENSORS.preprocess_durations[s]
+            ).remote(make_reading(SENSORS, s, tick), s)
+            for s in range(SENSORS.num_sensors)
+        ]
+        model_ref = fuse_task.options(duration=SENSORS.fuse_duration).remote(
+            *feature_refs
+        )
+
+        # Fig. 2b + 2c: plan and react concurrently, off the same model.
+        plan_ref = mcts_plan.remote(model_ref, observation, env_seed=tick)
+        policy_ref = rnn_policy_action.remote(model_ref, observation, weights)
+
+        # R1: decide by the deadline with whatever finished.
+        deadline = tick_start + CONTROL_PERIOD
+        ready, _pending = repro.wait(
+            [plan_ref], num_returns=1, timeout=max(0.0, deadline - repro.now() - 0.005)
+        )
+        if ready:
+            action = repro.get(plan_ref)
+            decisions["planner"] += 1
+        else:
+            action = repro.get(policy_ref)   # fast path is always done
+            decisions["policy"] += 1
+        latencies.append(repro.now() - tick_start)
+
+        observation, reward, _done = env.step(action)
+        total_reward += reward
+        if repro.now() < deadline:
+            repro.sleep(deadline - repro.now())
+
+    print(f"total reward over {NUM_TICKS} ticks: {total_reward:.3f}")
+    print(f"decisions: {decisions['planner']} from the MCTS planner, "
+          f"{decisions['policy']} from the RNN policy fallback")
+    print(f"decision latency: mean {np.mean(latencies) * 1e3:.1f} ms, "
+          f"max {np.max(latencies) * 1e3:.1f} ms "
+          f"(budget {CONTROL_PERIOD * 1e3:.0f} ms)")
+    assert max(latencies) <= CONTROL_PERIOD, "control deadline violated"
+    stats = repro.get_runtime().stats()
+    print(f"tasks executed: {stats['tasks_executed']}, "
+          f"virtual time: {stats['virtual_time']:.2f}s")
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under PEP
+517; this shim lets pip fall back to the legacy ``setup.py develop`` path
+(``--no-use-pep517``) in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

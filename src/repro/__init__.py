@@ -1,0 +1,75 @@
+"""repro — reproduction of "Real-Time Machine Learning: The Missing Pieces"
+(Nishihara, Moritz, et al., HotOS 2017), the vision paper that became Ray.
+
+A distributed execution framework for real-time ML: a futures API
+(``remote`` / ``get`` / ``wait``) over a hybrid-scheduled, centrally
+coordinated cluster — available both as a deterministic discrete-event
+*simulated* cluster (``backend="sim"``) and as a real threaded runtime
+(``backend="local"``).
+
+Quickstart::
+
+    import repro
+
+    repro.init(backend="sim", num_nodes=4, num_cpus=8)
+
+    @repro.remote
+    def square(x):
+        return x * x
+
+    refs = [square.remote(i) for i in range(10)]
+    print(repro.get(refs))
+    repro.shutdown()
+"""
+
+from repro.api import (
+    RemoteFunction,
+    get,
+    get_runtime,
+    init,
+    is_initialized,
+    now,
+    put,
+    remote,
+    shutdown,
+    sleep,
+    wait,
+)
+from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.object_ref import ObjectRef
+from repro.errors import (
+    BackendError,
+    ObjectLostError,
+    ReproError,
+    SchedulingError,
+    TaskError,
+    TimeoutError_,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "init",
+    "shutdown",
+    "is_initialized",
+    "get_runtime",
+    "remote",
+    "RemoteFunction",
+    "get",
+    "wait",
+    "put",
+    "sleep",
+    "now",
+    "ObjectRef",
+    "Compute",
+    "Get",
+    "Put",
+    "Wait",
+    "ReproError",
+    "TaskError",
+    "BackendError",
+    "ObjectLostError",
+    "SchedulingError",
+    "TimeoutError_",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""The programming model of Section 3.1.
+
+>>> import repro
+>>> repro.init(backend="sim", num_nodes=4, num_cpus=8)
+>>> @repro.remote
+... def add(x, y):
+...     return x + y
+>>> ref = add.remote(1, 2)          # non-blocking; returns a future
+>>> repro.get(ref)
+3
+>>> done, pending = repro.wait([ref], num_returns=1, timeout=1.0)
+>>> repro.shutdown()
+
+The five API elements map one-to-one onto the paper's list:
+
+1. task creation is non-blocking (``.remote()`` returns a future at once);
+2. arbitrary functions are remote tasks, and futures passed as arguments
+   create dataflow dependencies (R4, R5);
+3. any task can create new tasks without blocking on their completion (R3);
+4. ``get`` blocks on a future's value;
+5. ``wait(refs, num_returns, timeout)`` returns early completers, letting
+   applications bound latency under heterogeneous task durations (R1, R4).
+"""
+
+from repro.api.remote_function import RemoteFunction, remote
+from repro.api.runtime_context import (
+    get,
+    get_runtime,
+    init,
+    is_initialized,
+    now,
+    put,
+    shutdown,
+    sleep,
+    wait,
+)
+
+__all__ = [
+    "init",
+    "shutdown",
+    "is_initialized",
+    "get_runtime",
+    "remote",
+    "RemoteFunction",
+    "get",
+    "wait",
+    "put",
+    "sleep",
+    "now",
+]

@@ -1,0 +1,153 @@
+"""``@remote`` decorator and remote-function handles."""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.api import runtime_context
+from repro.core.object_ref import ObjectRef
+from repro.core.task import ResourceRequest
+
+#: Sentinel distinguishing "not overridden" from an explicit None/0.
+_UNSET = object()
+
+
+class RemoteFunction:
+    """A function designated as a remote task (Section 3.1, point 2).
+
+    Call ``.remote(*args)`` to submit; futures among the arguments become
+    dataflow dependencies.  ``.options(...)`` returns a re-configured
+    handle (resources, modeled duration, placement hint) without mutating
+    this one.
+    """
+
+    def __init__(
+        self,
+        function: Callable,
+        num_cpus: int = 1,
+        num_gpus: int = 0,
+        duration: Any = None,
+        max_reconstructions: int = 3,
+        placement_hint: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not callable(function):
+            raise TypeError(f"@remote expects a callable, got {type(function).__name__}")
+        self._function = function
+        self._name = name or getattr(function, "__name__", "anonymous")
+        self._resources = ResourceRequest(num_cpus=num_cpus, num_gpus=num_gpus)
+        self._duration = duration
+        self._max_reconstructions = max_reconstructions
+        self._placement_hint = placement_hint
+        #: function-table registration per runtime instance.
+        self._registrations: dict[int, Any] = {}
+        functools.update_wrapper(self, function)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteFunction({self._name})"
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError(
+            f"remote function {self._name!r} cannot be called directly; "
+            f"use {self._name}.remote(...) (or .local(...) to run in-process)"
+        )
+
+    def local(self, *args: Any, **kwargs: Any) -> Any:
+        """Run the underlying function in-process (tests, baselines)."""
+        return self._function(*args, **kwargs)
+
+    @property
+    def function(self) -> Callable:
+        return self._function
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def options(
+        self,
+        num_cpus: Optional[int] = None,
+        num_gpus: Optional[int] = None,
+        duration: Any = _UNSET,
+        max_reconstructions: Optional[int] = None,
+        placement_hint: Any = _UNSET,
+    ) -> "RemoteFunction":
+        """A copy of this handle with overridden submission options."""
+        return RemoteFunction(
+            self._function,
+            num_cpus=self._resources.num_cpus if num_cpus is None else num_cpus,
+            num_gpus=self._resources.num_gpus if num_gpus is None else num_gpus,
+            duration=self._duration if duration is _UNSET else duration,
+            max_reconstructions=(
+                self._max_reconstructions
+                if max_reconstructions is None
+                else max_reconstructions
+            ),
+            placement_hint=(
+                self._placement_hint if placement_hint is _UNSET else placement_hint
+            ),
+            name=self._name,
+        )
+
+    def _function_id(self, runtime) -> Any:
+        key = id(runtime)
+        if key not in self._registrations:
+            self._registrations[key] = runtime.register_function(
+                self._function, self._name
+            )
+        return self._registrations[key]
+
+    def remote(self, *args: Any, **kwargs: Any) -> ObjectRef:
+        """Submit one invocation; returns its future immediately."""
+        runtime = runtime_context.get_runtime()
+        return runtime.submit_task(
+            function=self._function,
+            function_id=self._function_id(runtime),
+            function_name=self._name,
+            args=args,
+            kwargs=kwargs,
+            resources=self._resources,
+            duration=self._duration,
+            placement_hint=self._placement_hint,
+            max_reconstructions=self._max_reconstructions,
+        )
+
+
+def remote(
+    function: Optional[Callable] = None,
+    *,
+    num_cpus: int = 1,
+    num_gpus: int = 0,
+    duration: Any = None,
+    max_reconstructions: int = 3,
+):
+    """Designate a function as remotely executable.
+
+    Bare form::
+
+        @remote
+        def f(x): ...
+
+    Configured form (heterogeneous resources, R4; modeled sim duration)::
+
+        @remote(num_gpus=1, duration=0.003)
+        def fit(params, batch): ...
+
+    ``duration`` models virtual compute time on the simulated backend: a
+    float (seconds) or a callable ``(rng, args) -> float`` sampled per
+    attempt.  It is ignored by the threaded backend, where time is real.
+    """
+    if function is not None:
+        return RemoteFunction(function)
+
+    def decorator(inner: Callable) -> RemoteFunction:
+        return RemoteFunction(
+            inner,
+            num_cpus=num_cpus,
+            num_gpus=num_gpus,
+            duration=duration,
+            max_reconstructions=max_reconstructions,
+        )
+
+    return decorator

@@ -1,0 +1,111 @@
+"""Global runtime context: init/shutdown and the blocking primitives."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.object_ref import ObjectRef
+from repro.errors import BackendError
+
+_BACKENDS = ("sim", "local")
+
+_current_runtime: Any = None
+
+
+def init(backend: str = "sim", **kwargs: Any):
+    """Start a runtime and make it current.
+
+    Parameters
+    ----------
+    backend:
+        ``"sim"`` for the deterministic simulated cluster (virtual time),
+        ``"local"`` for the real threaded runtime (wall-clock time).
+    num_nodes, num_cpus, num_gpus:
+        Convenience shortcuts building a uniform cluster (ignored when an
+        explicit ``cluster=ClusterSpec(...)`` is given).
+    **kwargs:
+        Forwarded to :class:`repro.core.SimRuntime` or
+        :class:`repro.local.LocalRuntime`.
+    """
+    global _current_runtime
+    if _current_runtime is not None:
+        raise BackendError("runtime already initialized; call shutdown() first")
+    if backend not in _BACKENDS:
+        raise BackendError(f"unknown backend {backend!r}; want one of {_BACKENDS}")
+
+    if "cluster" not in kwargs:
+        num_nodes = kwargs.pop("num_nodes", 1)
+        num_cpus = kwargs.pop("num_cpus", 4)
+        num_gpus = kwargs.pop("num_gpus", 0)
+        object_store_capacity = kwargs.pop("object_store_capacity", 2 * 1024**3)
+        kwargs["cluster"] = ClusterSpec.uniform(
+            num_nodes=num_nodes,
+            num_cpus=num_cpus,
+            num_gpus=num_gpus,
+            object_store_capacity=object_store_capacity,
+        )
+
+    if backend == "sim":
+        from repro.core.runtime import SimRuntime
+
+        _current_runtime = SimRuntime(**kwargs)
+    else:
+        from repro.local.runtime import LocalRuntime
+
+        _current_runtime = LocalRuntime(**kwargs)
+    return _current_runtime
+
+
+def shutdown() -> None:
+    """Stop the current runtime (idempotent)."""
+    global _current_runtime
+    if _current_runtime is not None:
+        _current_runtime.shutdown()
+        _current_runtime = None
+
+
+def is_initialized() -> bool:
+    """Whether a runtime is currently active."""
+    return _current_runtime is not None
+
+
+def get_runtime():
+    """The active runtime; raises if ``init`` has not been called."""
+    if _current_runtime is None:
+        raise BackendError("no runtime: call repro.init(...) first")
+    return _current_runtime
+
+
+def get(refs: Any, timeout: Optional[float] = None) -> Any:
+    """Block until future(s) resolve; returns value(s).
+
+    Raises :class:`repro.errors.TaskError` if the producing task failed
+    and :class:`repro.errors.TimeoutError_` on timeout.
+    """
+    return get_runtime().get(refs, timeout=timeout)
+
+
+def wait(
+    refs: Sequence[ObjectRef],
+    num_returns: int = 1,
+    timeout: Optional[float] = None,
+) -> tuple:
+    """Block until ``num_returns`` of ``refs`` complete or ``timeout``
+    elapses; returns ``(ready, pending)`` in input order (Section 3.1.5)."""
+    return get_runtime().wait(refs, num_returns=num_returns, timeout=timeout)
+
+
+def put(value: Any) -> ObjectRef:
+    """Store a value in the object store; returns a future for it."""
+    return get_runtime().put(value)
+
+
+def sleep(duration: float) -> None:
+    """Sleep in the runtime's notion of time (virtual on sim, real on local)."""
+    get_runtime().sleep(duration)
+
+
+def now() -> float:
+    """Current time in the runtime's clock (virtual seconds on sim)."""
+    return get_runtime().now

@@ -1,0 +1,27 @@
+"""Baseline execution engines the paper compares against (Sections 4.2, 5).
+
+* :class:`SerialExecutor` — the single-threaded reference ("1x").
+* :class:`BSPEngine` — a Spark-like bulk-synchronous-parallel engine:
+  driver-coordinated homogeneous stages with per-task overhead and stage
+  barriers, no nested or dynamic tasks.
+* :mod:`repro.baselines.centralized` — factory configs for the
+  CIEL/Dask-style fully-centralized-scheduler ablation, built from the
+  same simulated runtime with ``scheduler_mode="centralized"``.
+"""
+
+from repro.baselines.bsp import BSPConfig, BSPEngine
+from repro.baselines.centralized import (
+    make_centralized_runtime,
+    make_hybrid_runtime,
+    make_local_only_runtime,
+)
+from repro.baselines.serial import SerialExecutor
+
+__all__ = [
+    "SerialExecutor",
+    "BSPEngine",
+    "BSPConfig",
+    "make_centralized_runtime",
+    "make_hybrid_runtime",
+    "make_local_only_runtime",
+]

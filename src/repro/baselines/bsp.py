@@ -1,0 +1,132 @@
+"""Spark-like bulk-synchronous-parallel (BSP) engine.
+
+Models the execution structure that made the paper's Spark implementation
+9x *slower* than single-threaded Python on the fine-grained RL workload
+(Section 4.2):
+
+* the driver launches every task of a stage through a serialized
+  scheduling loop (``driver_overhead_per_task`` covers DAG-scheduler
+  bookkeeping, closure/broadcast serialization, and the Python<->JVM
+  round trip of 2017-era PySpark);
+* each task additionally pays an executor-side launch cost before its
+  useful work runs;
+* a stage is a barrier: nothing of stage *k+1* starts until every task of
+  stage *k* has finished, however skewed the durations are;
+* there is no nested task creation and no ``wait`` — exactly the
+  restrictions R3/R5 complain about.
+
+Default overheads are calibrated so the paper's RL workload reproduces
+its reported 9x slowdown vs. serial (see EXPERIMENTS.md, experiment E2);
+they are honest for PySpark ~2.x with per-stage model broadcast, which is
+what the paper's implementation did.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+@dataclass(frozen=True)
+class BSPConfig:
+    """Cluster shape and overhead model for the BSP engine."""
+
+    total_cores: int = 64
+    #: Serialized driver-side cost per task.  For the paper's PySpark
+    #: implementation this covers DAG-scheduler bookkeeping, per-task
+    #: closure pickling, the Python<->JVM bridge, and re-broadcasting the
+    #: updated model weights every stage; 70 ms/task is calibrated so the
+    #: RL workload reproduces the paper's measured 9x slowdown vs. serial
+    #: (Section 4.2) and is the one Spark-side free parameter we cannot
+    #: measure ourselves offline (see EXPERIMENTS.md, E2).
+    driver_overhead_per_task: float = 0.070
+    #: Executor-side launch cost per task, paid in parallel.
+    task_launch_overhead: float = 0.060
+    #: Fixed cost per stage (DAG scheduling, barrier teardown).
+    stage_overhead: float = 0.030
+
+    def __post_init__(self) -> None:
+        if self.total_cores <= 0:
+            raise ValueError("total_cores must be positive")
+        for field_name in (
+            "driver_overhead_per_task",
+            "task_launch_overhead",
+            "stage_overhead",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"negative {field_name}")
+
+
+class BSPEngine:
+    """Stage-at-a-time executor with a virtual clock."""
+
+    def __init__(self, config: BSPConfig | None = None) -> None:
+        self.config = config or BSPConfig()
+        self.clock = 0.0
+        self.stages_run = 0
+        self.tasks_run = 0
+
+    def run_stage(
+        self,
+        fn: Callable,
+        items: Sequence[Any],
+        duration: float | Callable[[Any], float] = 0.0,
+    ) -> list:
+        """Execute one BSP stage of ``fn(item)`` tasks; barrier at the end.
+
+        ``duration`` is the modeled per-task compute time (a float, or a
+        callable of the item).  Functions run for real, so downstream
+        logic sees true values.
+        """
+        config = self.config
+        results = []
+        if not items:
+            self.clock += config.stage_overhead
+            self.stages_run += 1
+            return results
+
+        # Tasks become launchable as the driver's serialized loop emits
+        # them; each runs on the earliest-free core.
+        core_free = [self.clock] * min(config.total_cores, len(items))
+        heapq.heapify(core_free)
+        stage_end = self.clock
+        submit_time = self.clock
+        for item in items:
+            submit_time += config.driver_overhead_per_task
+            core_available = heapq.heappop(core_free)
+            start = max(submit_time, core_available)
+            task_duration = duration(item) if callable(duration) else float(duration)
+            if task_duration < 0:
+                raise ValueError(f"negative task duration {task_duration}")
+            finish = start + config.task_launch_overhead + task_duration
+            heapq.heappush(core_free, finish)
+            stage_end = max(stage_end, finish)
+            results.append(fn(item))
+            self.tasks_run += 1
+
+        self.clock = stage_end + config.stage_overhead
+        self.stages_run += 1
+        return results
+
+    def run_ideal_parallel(
+        self, fn: Callable, items: Sequence[Any], duration: float = 0.0
+    ) -> list:
+        """Charge only the perfectly-parallelized compute time.
+
+        Mirrors the paper's footnote 2: "the GPU model fitting could not
+        be naturally parallelized on Spark, so the numbers are reported as
+        if it had been perfectly parallelized with no overhead in Spark" —
+        i.e. this method is deliberately *generous* to the BSP baseline.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        results = [fn(item) for item in items]
+        if items:
+            waves = -(-len(items) // self.config.total_cores)  # ceil division
+            self.clock += waves * duration
+        self.tasks_run += len(items)
+        return results
+
+    def elapsed(self) -> float:
+        return self.clock

@@ -1,0 +1,42 @@
+"""Scheduler-architecture ablation configs (experiment E9).
+
+The paper argues (Sections 3.2.2 and 5) that dynamic-dataflow systems with
+*entirely centralized* scheduling (CIEL, Dask) must trade latency against
+throughput, while its hybrid local/global design achieves both.  These
+factories build the same simulated runtime in the three architectures so
+benchmarks compare them like-for-like:
+
+* **hybrid** — the paper's design: local schedulers keep work when they
+  can, spill the rest to the global scheduler.
+* **centralized** — every task, from every worker, goes through the global
+  scheduler (and a single-shard control store by default, like a single
+  Dask scheduler process).
+* **local_only** — no load sharing at all; nodes keep everything they can
+  physically run (the opposite extreme).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.runtime import SimRuntime
+
+
+def make_hybrid_runtime(cluster: ClusterSpec, **kwargs: Any) -> SimRuntime:
+    """The paper's architecture (hybrid scheduling, sharded store)."""
+    kwargs.setdefault("num_gcs_shards", 8)
+    return SimRuntime(cluster=cluster, scheduler_mode="hybrid", **kwargs)
+
+
+def make_centralized_runtime(cluster: ClusterSpec, **kwargs: Any) -> SimRuntime:
+    """CIEL/Dask-style: all scheduling through one central component."""
+    kwargs.setdefault("num_gcs_shards", 1)
+    kwargs.setdefault("num_global_schedulers", 1)
+    return SimRuntime(cluster=cluster, scheduler_mode="centralized", **kwargs)
+
+
+def make_local_only_runtime(cluster: ClusterSpec, **kwargs: Any) -> SimRuntime:
+    """No spillover: every node keeps all work it can physically run."""
+    kwargs.setdefault("num_gcs_shards", 8)
+    return SimRuntime(cluster=cluster, scheduler_mode="local_only", **kwargs)

@@ -1,0 +1,15 @@
+"""Simulated cluster substrate: machines, network, and system cost model.
+
+The paper evaluated its prototype on a physical cluster; here the machines
+are explicit models — per-node CPU/GPU slots and an object-store capacity,
+a network with latency and bandwidth, and a cost model for the fixed system
+overheads (IPC hops, control-plane operations, task launch) that the
+paper's microbenchmarks measure.
+"""
+
+from repro.cluster.costs import SystemCosts
+from repro.cluster.network import NetworkModel
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.cluster.topology import RackNetworkModel
+
+__all__ = ["NodeSpec", "ClusterSpec", "NetworkModel", "RackNetworkModel", "SystemCosts"]

@@ -1,0 +1,77 @@
+"""Fixed system overheads charged by the simulated runtime.
+
+These are the knobs that the paper's Section 4.1 microbenchmarks measure
+end-to-end.  Defaults are calibrated so that an empty task on the simulated
+cluster reproduces the paper's reported overheads (submit ≈ 35 µs,
+get-after-completion ≈ 110 µs, end-to-end ≈ 290 µs locally / ≈ 1 ms
+remotely); see ``benchmarks/bench_e1_microbenchmarks.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystemCosts:
+    """Per-operation overheads of runtime components (all in seconds)."""
+
+    #: Driver/worker-side cost of building + handing a task spec to the
+    #: local scheduler (the paper's 35 µs "task creation" number).
+    submit_overhead: float = 35e-6
+
+    #: Local scheduler's per-task decision time (queue inspection, resource
+    #: check, spill decision).
+    local_sched_decision: float = 15e-6
+
+    #: Global scheduler's per-task placement time (load + locality lookup).
+    global_sched_decision: float = 15e-6
+
+    #: Cost to hand an assigned task to a worker and for the worker to set
+    #: up execution (deserialize spec, bind arguments).
+    worker_launch: float = 75e-6
+
+    #: Object-store put bookkeeping (excluding serialization throughput).
+    put_overhead: float = 25e-6
+
+    #: Object-store get bookkeeping on the requesting side (the paper's
+    #: 110 µs "retrieve result" covers this plus table lookup + IPC).
+    get_overhead: float = 110e-6
+
+    #: Service time of one control-plane (GCS) operation at a shard.
+    gcs_op_service: float = 10e-6
+
+    #: Serialization/deserialization throughput, bytes per second.
+    serialization_bandwidth: float = 2e9
+
+    #: Heartbeat period from local schedulers to the control plane.
+    heartbeat_interval: float = 0.1
+
+    #: Heartbeats missed before a node is declared dead.
+    heartbeat_timeout_multiplier: float = 3.0
+
+    def serialization_time(self, num_bytes: int) -> float:
+        """Time to serialize or deserialize ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"negative size: {num_bytes}")
+        return num_bytes / self.serialization_bandwidth
+
+    @property
+    def heartbeat_timeout(self) -> float:
+        """Silence duration after which a node is declared dead."""
+        return self.heartbeat_interval * self.heartbeat_timeout_multiplier
+
+    def scaled(self, factor: float) -> "SystemCosts":
+        """Uniformly scale every fixed overhead (for sensitivity sweeps)."""
+        if factor < 0:
+            raise ValueError(f"negative factor: {factor}")
+        return replace(
+            self,
+            submit_overhead=self.submit_overhead * factor,
+            local_sched_decision=self.local_sched_decision * factor,
+            global_sched_decision=self.global_sched_decision * factor,
+            worker_launch=self.worker_launch * factor,
+            put_overhead=self.put_overhead * factor,
+            get_overhead=self.get_overhead * factor,
+            gcs_op_service=self.gcs_op_service * factor,
+        )

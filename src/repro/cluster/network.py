@@ -1,0 +1,61 @@
+"""Network model for the simulated cluster.
+
+Two-level model: messages between processes on the *same* node pay the IPC
+latency from :class:`~repro.cluster.costs.SystemCosts`; messages between
+nodes pay a propagation latency plus ``size / bandwidth`` serialization
+time.  This is deliberately simple — the paper's claims depend on the
+*existence* of a local/remote cost asymmetry (local scheduling avoids
+network hops, locality-aware placement avoids transfers), not on any
+particular fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.ids import NodeID
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth model between cluster nodes.
+
+    Parameters
+    ----------
+    inter_node_latency:
+        One-way propagation delay between two distinct nodes (seconds).
+        Default 200 µs, calibrated to the paper's prototype whose
+        remote-task RPC path (gRPC-less, Redis-mediated) reported ~1 ms
+        end-to-end for an empty remote task.
+    intra_node_latency:
+        One-way delay between processes on one node (IPC hop).  Default 3 µs.
+    bandwidth:
+        Inter-node bandwidth in bytes/second.  Default 10 Gbit/s.
+    intra_node_bandwidth:
+        Shared-memory copy bandwidth for on-node object handoff.
+    """
+
+    inter_node_latency: float = 200e-6
+    intra_node_latency: float = 3e-6
+    bandwidth: float = 1.25e9
+    intra_node_bandwidth: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.inter_node_latency < 0 or self.intra_node_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth <= 0 or self.intra_node_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def latency(self, src: NodeID, dst: NodeID) -> float:
+        """One-way message latency between two nodes (or within one)."""
+        if src == dst:
+            return self.intra_node_latency
+        return self.inter_node_latency
+
+    def transfer_time(self, src: NodeID, dst: NodeID, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` from ``src`` to ``dst``."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        if src == dst:
+            return self.intra_node_latency + num_bytes / self.intra_node_bandwidth
+        return self.inter_node_latency + num_bytes / self.bandwidth

@@ -1,0 +1,87 @@
+"""Static descriptions of simulated machines and clusters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine: schedulable resources plus object-store capacity.
+
+    Parameters mirror the architecture in Figure 3 of the paper: several
+    worker processes (one per CPU slot by default), optional GPUs, and a
+    per-node shared-memory object store.
+    """
+
+    num_cpus: int = 4
+    num_gpus: int = 0
+    object_store_capacity: int = 2 * 1024**3  # bytes
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_cpus <= 0:
+            raise ValueError(f"node needs at least one CPU, got {self.num_cpus}")
+        if self.num_gpus < 0:
+            raise ValueError(f"negative GPU count: {self.num_gpus}")
+        if self.object_store_capacity <= 0:
+            raise ValueError("object store capacity must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of nodes; node 0 is the head node.
+
+    The head node hosts the driver, the control-plane shards, and the
+    global scheduler(s), matching the paper's deployment sketch of a
+    logically-centralized control plane.
+    """
+
+    nodes: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        for node in self.nodes:
+            if not isinstance(node, NodeSpec):
+                raise TypeError(f"expected NodeSpec, got {type(node).__name__}")
+
+    @classmethod
+    def uniform(
+        cls,
+        num_nodes: int,
+        num_cpus: int = 4,
+        num_gpus: int = 0,
+        object_store_capacity: int = 2 * 1024**3,
+    ) -> "ClusterSpec":
+        """A homogeneous cluster of ``num_nodes`` identical machines."""
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        nodes = tuple(
+            NodeSpec(
+                num_cpus=num_cpus,
+                num_gpus=num_gpus,
+                object_store_capacity=object_store_capacity,
+                name=f"node{i}",
+            )
+            for i in range(num_nodes)
+        )
+        return cls(nodes=nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cpus(self) -> int:
+        return sum(node.num_cpus for node in self.nodes)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(node.num_gpus for node in self.nodes)
+
+    def max_cpus_per_node(self) -> int:
+        return max(node.num_cpus for node in self.nodes)
+
+    def max_gpus_per_node(self) -> int:
+        return max(node.num_gpus for node in self.nodes)

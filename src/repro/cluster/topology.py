@@ -1,0 +1,81 @@
+"""Rack-aware network topology.
+
+The flat :class:`~repro.cluster.network.NetworkModel` suffices for the
+paper's experiments; this two-tier variant (same-node / same-rack /
+cross-rack) exists for sensitivity studies — e.g. how the E1 remote
+latency and E9 placement quality react to oversubscribed cross-rack
+links, a standard datacenter concern the paper's hybrid scheduler would
+face in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.ids import NodeID
+
+
+@dataclass
+class RackNetworkModel:
+    """Two-tier topology: cheap within a rack, expensive across racks.
+
+    Assign nodes to racks with :meth:`place`; unassigned nodes fall back
+    to cross-rack costs (conservative).  Drop-in compatible with
+    :class:`NetworkModel` (same ``latency`` / ``transfer_time`` methods).
+    """
+
+    intra_node_latency: float = 3e-6
+    intra_rack_latency: float = 100e-6
+    cross_rack_latency: float = 400e-6
+    intra_node_bandwidth: float = 10e9
+    intra_rack_bandwidth: float = 1.25e9
+    #: Cross-rack links are typically oversubscribed (e.g. 4:1).
+    cross_rack_bandwidth: float = 0.3125e9
+    _rack_of: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("intra_node_latency", "intra_rack_latency", "cross_rack_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name}")
+        for name in (
+            "intra_node_bandwidth", "intra_rack_bandwidth", "cross_rack_bandwidth"
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"non-positive {name}")
+
+    def place(self, node_id: NodeID, rack: int) -> None:
+        """Assign a node to a rack."""
+        if rack < 0:
+            raise ValueError(f"negative rack index: {rack}")
+        self._rack_of[node_id] = rack
+
+    def place_round_robin(self, node_ids, num_racks: int) -> None:
+        """Spread nodes across ``num_racks`` racks in order."""
+        if num_racks <= 0:
+            raise ValueError("num_racks must be positive")
+        for index, node_id in enumerate(node_ids):
+            self.place(node_id, index % num_racks)
+
+    def rack_of(self, node_id: NodeID):
+        return self._rack_of.get(node_id)
+
+    def same_rack(self, a: NodeID, b: NodeID) -> bool:
+        rack_a = self._rack_of.get(a)
+        rack_b = self._rack_of.get(b)
+        return rack_a is not None and rack_a == rack_b
+
+    def latency(self, src: NodeID, dst: NodeID) -> float:
+        if src == dst:
+            return self.intra_node_latency
+        if self.same_rack(src, dst):
+            return self.intra_rack_latency
+        return self.cross_rack_latency
+
+    def transfer_time(self, src: NodeID, dst: NodeID, num_bytes: int) -> float:
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        if src == dst:
+            return self.intra_node_latency + num_bytes / self.intra_node_bandwidth
+        if self.same_rack(src, dst):
+            return self.intra_rack_latency + num_bytes / self.intra_rack_bandwidth
+        return self.cross_rack_latency + num_bytes / self.cross_rack_bandwidth

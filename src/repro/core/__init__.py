@@ -1,0 +1,24 @@
+"""Core of the framework: the task model, futures, workers, and runtime.
+
+This package assembles the pieces from Figure 3 of the paper — per-node
+workers + object store + local scheduler, one or more global schedulers,
+and the centralized control plane — into :class:`~repro.core.runtime.SimRuntime`,
+the simulated-cluster backend behind the public API in :mod:`repro.api`.
+"""
+
+from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.object_ref import ObjectRef
+from repro.core.runtime import SimRuntime
+from repro.core.task import ResourceRequest, TaskSpec, TaskState
+
+__all__ = [
+    "TaskSpec",
+    "TaskState",
+    "ResourceRequest",
+    "ObjectRef",
+    "SimRuntime",
+    "Compute",
+    "Get",
+    "Put",
+    "Wait",
+]

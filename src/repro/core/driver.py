@@ -1,0 +1,148 @@
+"""The driver: ordinary Python code steering the simulated cluster.
+
+Driver code is *outside* the simulation: each blocking call (``get``,
+``wait``, ``put``, ``sleep``) pumps the event loop until its outcome is
+decided, so the same script that runs against the threaded backend runs
+against the simulated cluster, with virtual time advancing only inside
+the blocking calls.  The driver "lives" on the head node: its submissions
+enter the head node's local scheduler and its gets read (or pull objects
+into) the head node's object store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.object_ref import ObjectRef
+from repro.core.task import TaskSpec
+from repro.errors import TimeoutError_
+from repro.sim.core import Delay, Signal
+from repro.utils.serialization import serialize
+
+
+class Driver:
+    """Blocking facade over the simulated runtime for user scripts."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.node_id = runtime.head_node_id
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: TaskSpec) -> ObjectRef:
+        """Submit a task; blocks (in virtual time) only for the submit
+        overhead — the paper's non-blocking task creation (Section 3.1)."""
+        accepted = self.sim.signal(name="submit-accepted")
+        self.runtime.local_scheduler(self.node_id).submit(spec, accepted)
+        self._pump(accepted)
+        return spec.result_ref()
+
+    # ------------------------------------------------------------------
+    # Blocking reads
+    # ------------------------------------------------------------------
+
+    def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
+        """Resolve future(s) to value(s); raises TaskError on task failure."""
+        single = isinstance(refs, ObjectRef)
+        try:
+            ref_list = [refs] if single else list(refs)
+        except TypeError:
+            raise TypeError(
+                f"get expects ObjectRef(s), got {type(refs).__name__}"
+            ) from None
+        for ref in ref_list:
+            if not isinstance(ref, ObjectRef):
+                raise TypeError(f"get expects ObjectRef(s), got {type(ref).__name__}")
+        process = self.sim.spawn(
+            self.runtime.get_values(self.node_id, ref_list), name="driver-get"
+        )
+        values = self._pump(process.done_signal, timeout=timeout, what="get")
+        return values[0] if single else values
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """The paper's ``wait`` primitive: block until ``num_returns`` of
+        ``refs`` are complete or ``timeout`` elapses; returns
+        ``(ready, pending)`` preserving input order."""
+        ref_list = list(refs)
+        if num_returns < 0:
+            raise ValueError(f"negative num_returns: {num_returns}")
+        if num_returns > len(ref_list):
+            raise ValueError(
+                f"num_returns={num_returns} exceeds number of refs ({len(ref_list)})"
+            )
+        process = self.sim.spawn(
+            self.runtime.wait_ready(self.node_id, ref_list, num_returns, timeout),
+            name="driver-wait",
+        )
+        return self._pump(process.done_signal, what="wait")
+
+    def put(self, value: Any) -> ObjectRef:
+        """Store a driver-local value and return a future for it."""
+        process = self.sim.spawn(self._put_proc(value), name="driver-put")
+        return self._pump(process.done_signal, what="put")
+
+    def _put_proc(self, value: Any):
+        runtime = self.runtime
+        object_id = runtime.ids.object_id()
+        data = serialize(value)
+        yield Delay(
+            runtime.costs.serialization_time(len(data)) + runtime.costs.put_overhead
+        )
+        runtime.object_store(self.node_id).put(object_id, data)
+        # Synchronous table update: the ref must be usable (and visible to
+        # dependency tracking) the moment put returns.
+        yield from runtime.control_plane.object_add_location(
+            self.node_id, object_id, self.node_id, len(data)
+        )
+        return ObjectRef(object_id)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def sleep(self, duration: float) -> None:
+        """Advance virtual time (e.g. to model a real-time control period)."""
+        if duration < 0:
+            raise ValueError(f"negative sleep: {duration}")
+        self.sim.run(until=self.sim.now + duration)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # Event-loop pumping
+    # ------------------------------------------------------------------
+
+    def _pump(self, signal: Signal, timeout: Optional[float] = None, what: str = "call"):
+        """Run the simulation until ``signal`` fires (or timeout)."""
+        if timeout is None:
+            return self.sim.run_until_signal(
+                signal, max_events=self.runtime.max_events_per_call
+            )
+        deadline = self.sim.now + timeout
+        processed = 0
+        while not signal.fired:
+            if not self.sim._heap:
+                raise RuntimeError(f"deadlock: driver {what} can never complete")
+            if self.sim._heap[0].time > deadline:
+                self.sim.run(until=deadline)
+                raise TimeoutError_(f"driver {what} timed out after {timeout}s")
+            self.sim.step()
+            processed += 1
+            if (
+                self.runtime.max_events_per_call is not None
+                and processed > self.runtime.max_events_per_call
+            ):
+                raise RuntimeError(f"driver {what} exceeded event budget")
+        if signal.exception is not None:
+            raise signal.exception
+        return signal.value

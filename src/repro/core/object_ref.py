@@ -1,0 +1,25 @@
+"""Futures (Section 3.1, point 1).
+
+An :class:`ObjectRef` is returned immediately by every ``.remote()`` call;
+it names the task's eventual return value in the object table.  Passing a
+ref as an argument to another remote call creates a dataflow dependency
+(R5); calling ``get`` blocks until the value is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.ids import ObjectID, TaskID
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectRef:
+    """A future for a (possibly not-yet-computed) immutable object."""
+
+    object_id: ObjectID
+    #: Task that produces this object; None for driver/worker ``put``s.
+    producer_task: TaskID | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectRef({self.object_id.hex[:10]})"

@@ -1,0 +1,119 @@
+"""Task specifications: the unit of remote execution and of lineage.
+
+A :class:`TaskSpec` is everything the system needs to run a task — and,
+because the control plane's task table stores specs durably, everything it
+needs to *re*-run the task during lineage replay after a failure (R6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.object_ref import ObjectRef
+from repro.utils.ids import FunctionID, NodeID, ObjectID, TaskID
+
+
+class TaskState:
+    """Lifecycle states recorded in the task table."""
+
+    SUBMITTED = "submitted"
+    WAITING = "waiting"      # dependencies not yet produced
+    QUEUED = "queued"        # runnable, waiting for resources on a node
+    SPILLED = "spilled"      # handed to a global scheduler
+    ASSIGNED = "assigned"    # placed on a node by a global scheduler
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    LOST = "lost"            # was on a node that died; awaiting resubmit
+
+    ALL = (SUBMITTED, WAITING, QUEUED, SPILLED, ASSIGNED, RUNNING,
+           FINISHED, FAILED, LOST)
+    #: States in which a node failure orphans the task.
+    PENDING = (SUBMITTED, WAITING, QUEUED, ASSIGNED, RUNNING)
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """Resources a task occupies while running (R4: heterogeneous tasks)."""
+
+    num_cpus: int = 1
+    num_gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cpus < 0 or self.num_gpus < 0:
+            raise ValueError("resource requests must be non-negative")
+        if self.num_cpus == 0 and self.num_gpus == 0:
+            raise ValueError("task must request at least one CPU or GPU")
+
+    def fits(self, available_cpus: int, available_gpus: int) -> bool:
+        return self.num_cpus <= available_cpus and self.num_gpus <= available_gpus
+
+    def fits_node(self, num_cpus: int, num_gpus: int) -> bool:
+        """Whether any amount of waiting could run this task on such a node."""
+        return self.num_cpus <= num_cpus and self.num_gpus <= num_gpus
+
+
+@dataclass
+class TaskSpec:
+    """One remote function invocation.
+
+    ``function`` is the actual Python callable.  (The paper's prototype
+    ships pickled functions through the function table; we store the
+    callable in the in-process function registry and charge the table
+    costs, which preserves timing without double-serializing code.)
+
+    ``duration`` models the task's virtual compute time on the simulated
+    cluster: ``None`` (free), a float (seconds), or a callable
+    ``(rng, args) -> float`` sampled per attempt.  On the threaded backend
+    durations are real and this field is ignored.
+    """
+
+    task_id: TaskID
+    function_id: FunctionID
+    function_name: str
+    function: Optional[Callable] = None
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    return_object_id: Optional[ObjectID] = None
+    resources: ResourceRequest = field(default_factory=ResourceRequest)
+    duration: Any = None
+    #: Node the submitter was on (for locality bookkeeping / debugging).
+    submitted_from: Optional[NodeID] = None
+    #: Test/bench hook: force placement on a specific node via spillover.
+    placement_hint: Optional[NodeID] = None
+    #: How many times the object may be rebuilt via lineage replay.
+    max_reconstructions: int = 3
+
+    def dependencies(self) -> list[ObjectID]:
+        """Object IDs this task consumes (futures in args/kwargs)."""
+        deps = []
+        for value in list(self.args) + list(self.kwargs.values()):
+            if isinstance(value, ObjectRef):
+                deps.append(value.object_id)
+        return deps
+
+    def dependency_refs(self) -> list[ObjectRef]:
+        refs = []
+        for value in list(self.args) + list(self.kwargs.values()):
+            if isinstance(value, ObjectRef):
+                refs.append(value)
+        return refs
+
+    def sample_duration(self, rng) -> float:
+        """Resolve the duration model for one execution attempt."""
+        if self.duration is None:
+            return 0.0
+        if callable(self.duration):
+            value = self.duration(rng, self.args)
+        else:
+            value = float(self.duration)
+        if value < 0:
+            raise ValueError(f"negative task duration {value} for {self.function_name}")
+        return value
+
+    def result_ref(self) -> ObjectRef:
+        """The future for this task's return value."""
+        if self.return_object_id is None:
+            raise ValueError("task spec has no return object id")
+        return ObjectRef(self.return_object_id, producer_task=self.task_id)

@@ -1,0 +1,360 @@
+"""Workers: the processes that execute tasks on a node.
+
+A worker executes one task at a time: it resolves the task's arguments
+(reading the local object store, pulling remote objects over the network,
+triggering lineage reconstruction for lost ones), runs the function, and
+stores the result.  Task bodies may be plain callables (run atomically at
+a modeled virtual cost) or generators yielding the effects in
+:mod:`repro.core.effects` — ``Compute``, ``Get``, ``Wait``, ``Put`` — which
+is how tasks block mid-body and how nested tasks interleave with waiting
+(R3).
+
+Exceptions raised by user code never crash the worker: they are captured
+as an :class:`ErrorValue` stored in place of the result, and propagate
+through the dataflow graph to any dependent task and ultimately to the
+driver's ``get`` (R7's error diagnosis path).
+"""
+
+from __future__ import annotations
+
+import inspect
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.object_ref import ObjectRef
+from repro.core.task import TaskSpec, TaskState
+from repro.errors import ReproError, TaskError
+from repro.sim.core import Delay, ProcessKilled
+from repro.utils.ids import NodeID, WorkerID
+from repro.utils.serialization import serialize
+
+
+@dataclass(frozen=True)
+class ErrorValue:
+    """Stored in the object store in place of a failed task's result."""
+
+    task_id: Any
+    function_name: str
+    cause_repr: str
+    traceback_text: str = ""
+    #: Function names the error has propagated through (origin first).
+    chain: tuple = field(default_factory=tuple)
+
+    def to_exception(self) -> TaskError:
+        return TaskError(
+            self.task_id, self.function_name, self.cause_repr, self.traceback_text
+        )
+
+
+def error_value_from(spec: TaskSpec, exc: BaseException) -> ErrorValue:
+    """Capture a user exception raised inside ``spec``'s body."""
+    return ErrorValue(
+        task_id=spec.task_id,
+        function_name=spec.function_name,
+        cause_repr=repr(exc),
+        traceback_text=traceback.format_exc(),
+        chain=(spec.function_name,),
+    )
+
+
+def propagate_error(value: ErrorValue, spec: TaskSpec) -> ErrorValue:
+    """Forward an upstream error through a dependent task."""
+    return ErrorValue(
+        task_id=value.task_id,
+        function_name=value.function_name,
+        cause_repr=value.cause_repr,
+        traceback_text=value.traceback_text,
+        chain=value.chain + (spec.function_name,),
+    )
+
+
+@dataclass
+class WorkerContext:
+    """Execution context active while user code runs (enables nested
+    ``.remote()`` calls to route to this node's local scheduler)."""
+
+    node_id: NodeID
+    worker: "Worker"
+
+
+class Worker:
+    """One worker process slot on a node."""
+
+    def __init__(self, runtime, node_id: NodeID, worker_id: WorkerID, scheduler) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.node_id = node_id
+        self.worker_id = worker_id
+        self.scheduler = scheduler
+        self.rng = runtime.rngs.stream(f"worker/{worker_id.hex}")
+        self.busy = False
+        self.dead = False
+        self.current_spec: Optional[TaskSpec] = None
+        self.current_process = None
+        #: False while the running task has released its slots (blocked on
+        #: a Get/Wait effect); the scheduler uses this for accounting.
+        self.resources_held = False
+        self.tasks_completed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Worker({self.worker_id.hex[:8]}@{self.node_id.hex[:8]}, busy={self.busy})"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, spec: TaskSpec) -> None:
+        """Begin executing a task (called by the local scheduler)."""
+        if self.busy:
+            raise RuntimeError(f"worker {self.worker_id} is already busy")
+        self.busy = True
+        self.resources_held = True
+        self.current_spec = spec
+        self.current_process = self.sim.spawn(
+            self._run_task(spec), name=f"task:{spec.function_name}"
+        )
+
+    def kill(self) -> None:
+        """Node failure: abort the in-flight task, never notify the scheduler."""
+        self.dead = True
+        if self.current_process is not None and self.current_process.alive:
+            self.current_process.kill()
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+
+    def _run_task(self, spec: TaskSpec) -> Generator:
+        runtime = self.runtime
+        cp = runtime.control_plane
+        costs = runtime.costs
+        store = runtime.object_store(self.node_id)
+        pinned: list = []
+        try:
+            yield Delay(costs.local_sched_decision + costs.worker_launch)
+            cp.async_task_set_state(
+                self.node_id, spec.task_id, TaskState.RUNNING, node=self.node_id
+            )
+            cp.log("task_started", task_id=spec.task_id, node=self.node_id,
+                   worker=self.worker_id, function=spec.function_name)
+            started = self.sim.now
+
+            try:
+                arg_values, kwarg_values, upstream_error = yield from self._resolve_args(
+                    spec, pinned
+                )
+            except ReproError as exc:
+                # Unrecoverable infrastructure failure (e.g. an argument
+                # lost with reconstruction disabled): the task must still
+                # produce a result object, or every consumer hangs (R7).
+                upstream_error = None
+                result_value: Any = error_value_from(spec, exc)
+            else:
+                if upstream_error is not None:
+                    result_value = propagate_error(upstream_error, spec)
+                else:
+                    result_value = yield from self._execute(
+                        spec, arg_values, kwarg_values
+                    )
+
+            yield from self._store_result(spec, result_value)
+            failed = isinstance(result_value, ErrorValue)
+            cp.async_task_set_state(
+                self.node_id,
+                spec.task_id,
+                TaskState.FAILED if failed else TaskState.FINISHED,
+                node=self.node_id,
+            )
+            cp.log("task_finished", task_id=spec.task_id, node=self.node_id,
+                   worker=self.worker_id, function=spec.function_name,
+                   duration=self.sim.now - started, failed=failed)
+            self.tasks_completed += 1
+        finally:
+            for object_id in pinned:
+                store.unpin(object_id)
+            if not self.dead:
+                self.busy = False
+                self.current_spec = None
+                self.current_process = None
+                self.scheduler.task_finished(self, spec)
+
+    def _resolve_args(self, spec: TaskSpec, pinned: list) -> Generator:
+        """Materialize argument futures into values.
+
+        Returns ``(args, kwargs, upstream_error)``; if any argument is an
+        upstream :class:`ErrorValue`, execution is skipped and the error is
+        propagated as this task's result.
+        """
+        upstream_error: Optional[ErrorValue] = None
+
+        def resolve(value: Any) -> Generator:
+            nonlocal upstream_error
+            if not isinstance(value, ObjectRef):
+                return value
+            resolved = yield from self._fetch_value(value.object_id, pinned)
+            if isinstance(resolved, ErrorValue) and upstream_error is None:
+                upstream_error = resolved
+            return resolved
+
+        args = []
+        for value in spec.args:
+            args.append((yield from resolve(value)))
+        kwargs = {}
+        for key, value in spec.kwargs.items():
+            kwargs[key] = yield from resolve(value)
+        return tuple(args), kwargs, upstream_error
+
+    def _fetch_value(self, object_id, pinned: Optional[list] = None) -> Generator:
+        """Make one object local, pin it, and deserialize it."""
+        runtime = self.runtime
+        store = runtime.object_store(self.node_id)
+        data = store.get(object_id)
+        if data is None:
+            yield from runtime.await_ready(self.node_id, object_id)
+            data = yield from runtime.fetch_local(self.node_id, object_id)
+        if pinned is not None:
+            store.pin(object_id)
+            pinned.append(object_id)
+        yield Delay(runtime.costs.serialization_time(len(data)))
+        return runtime.deserialize_value(data)
+
+    # -- running user code ---------------------------------------------------
+
+    def _execute(self, spec: TaskSpec, args: tuple, kwargs: dict) -> Generator:
+        """Run the task body; returns the result or an ErrorValue."""
+        function = self.runtime.resolve_function(spec)
+        if function is None:
+            return ErrorValue(
+                task_id=spec.task_id,
+                function_name=spec.function_name,
+                cause_repr=f"function {spec.function_name!r} not registered",
+                chain=(spec.function_name,),
+            )
+        context = WorkerContext(node_id=self.node_id, worker=self)
+        if inspect.isgeneratorfunction(function):
+            result = yield from self._drive_generator(spec, function, args, kwargs, context)
+            return result
+
+        self.runtime.push_worker_context(context)
+        try:
+            result = function(*args, **kwargs)
+        except ProcessKilled:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - user code boundary
+            return error_value_from(spec, exc)
+        finally:
+            self.runtime.pop_worker_context()
+        duration = spec.sample_duration(self.rng)
+        if duration > 0:
+            yield Delay(duration)
+        return result
+
+    def _drive_generator(
+        self, spec: TaskSpec, function, args: tuple, kwargs: dict, context: WorkerContext
+    ) -> Generator:
+        """Interpret a generator task body's yielded effects."""
+        runtime = self.runtime
+        generator = function(*args, **kwargs)
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            runtime.push_worker_context(context)
+            try:
+                if throw_exc is not None:
+                    item = generator.throw(throw_exc)
+                else:
+                    item = generator.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            except ProcessKilled:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - user code boundary
+                return error_value_from(spec, exc)
+            finally:
+                runtime.pop_worker_context()
+            throw_exc = None
+            send_value = None
+
+            if isinstance(item, Compute):
+                yield Delay(item.duration)
+            elif isinstance(item, Get):
+                # The task is about to block: release its CPU/GPU slots so
+                # other tasks — typically its own children — can run, then
+                # reacquire before resuming user code (Ray's raylets do
+                # exactly this with replacement workers).
+                self.scheduler.release_while_blocked(self, spec)
+                single = isinstance(item.refs, ObjectRef)
+                refs = [item.refs] if single else list(item.refs)
+                values = []
+                for ref in refs:
+                    try:
+                        value = yield from self._fetch_value(ref.object_id)
+                    except ReproError as exc:
+                        # Fetch failed terminally (object lost, no
+                        # reconstruction): surface it inside the body so
+                        # user code can handle or propagate it.
+                        throw_exc = exc
+                        break
+                    if isinstance(value, ErrorValue):
+                        throw_exc = value.to_exception()
+                        break
+                    values.append(value)
+                yield self.scheduler.reacquire_after_blocked(self, spec)
+                if throw_exc is None:
+                    send_value = values[0] if single else values
+            elif isinstance(item, Wait):
+                self.scheduler.release_while_blocked(self, spec)
+                ready, pending = yield from runtime.wait_ready(
+                    self.node_id, list(item.refs), item.num_returns, item.timeout
+                )
+                yield self.scheduler.reacquire_after_blocked(self, spec)
+                send_value = (ready, pending)
+            elif isinstance(item, Put):
+                send_value = yield from self._put_value(item.value)
+            else:
+                throw_exc = TypeError(
+                    f"task body yielded unsupported effect {item!r}"
+                )
+
+    def _put_value(self, value: Any) -> Generator:
+        """Worker-side ``put``: store a value, return a ref for it."""
+        runtime = self.runtime
+        object_id = runtime.ids.object_id()
+        data = serialize(value)
+        yield Delay(
+            runtime.costs.serialization_time(len(data)) + runtime.costs.put_overhead
+        )
+        runtime.object_store(self.node_id).put(object_id, data)
+        runtime.control_plane.async_object_add_location(
+            self.node_id, object_id, self.node_id, len(data)
+        )
+        return ObjectRef(object_id)
+
+    # -- result handling --------------------------------------------------------
+
+    def _store_result(self, spec: TaskSpec, result_value: Any) -> Generator:
+        runtime = self.runtime
+        store = runtime.object_store(self.node_id)
+        try:
+            data = serialize(result_value)
+        except TypeError as exc:
+            result_value = error_value_from(spec, exc)
+            data = serialize(result_value)
+        yield Delay(
+            runtime.costs.serialization_time(len(data)) + runtime.costs.put_overhead
+        )
+        try:
+            store.put(spec.return_object_id, data)
+        except Exception as exc:  # ObjectStoreFullError: store tiny error marker
+            result_value = error_value_from(spec, exc)
+            data = serialize(result_value)
+            store.put(spec.return_object_id, data)
+        runtime.control_plane.async_object_add_location(
+            self.node_id,
+            spec.return_object_id,
+            self.node_id,
+            len(data),
+            producer_task=spec.task_id,
+        )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the framework.
+
+Errors raised inside remote tasks are captured, stored in the object store
+in place of the task's return value, and re-raised at ``get`` time wrapped
+in :class:`TaskError` — the error-diagnosis half of requirement R7.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class BackendError(ReproError):
+    """Misuse of the runtime lifecycle (init/shutdown ordering, etc.)."""
+
+
+class TaskError(ReproError):
+    """A remote task raised an exception.
+
+    Attributes
+    ----------
+    task_id:
+        The failing task, for lineage lookup in the event log.
+    function_name:
+        Human-readable name of the remote function.
+    cause_repr:
+        ``repr`` of the original exception (the original object may not be
+        serializable, so we always keep its repr and traceback text).
+    traceback_text:
+        Formatted traceback captured in the worker.
+    """
+
+    def __init__(self, task_id, function_name: str, cause_repr: str, traceback_text: str = "") -> None:
+        self.task_id = task_id
+        self.function_name = function_name
+        self.cause_repr = cause_repr
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"task {task_id} ({function_name}) failed: {cause_repr}"
+        )
+
+
+class ObjectLostError(ReproError):
+    """An object's every replica was lost and reconstruction is disabled."""
+
+
+class TimeoutError_(ReproError):
+    """A blocking ``get`` exceeded its timeout."""
+
+
+class SchedulingError(ReproError):
+    """A task can never be scheduled (e.g. requests more GPUs than any node has)."""
+
+
+class WorkerCrashedError(ReproError):
+    """The worker executing a task died (node failure) before finishing."""

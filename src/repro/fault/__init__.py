@@ -1,0 +1,19 @@
+"""Transparent fault tolerance (requirement R6).
+
+Two mechanisms, both enabled by the centralized control plane keeping all
+state (Section 3.2.1):
+
+* **Stateless component restart** — when a node dies, its local scheduler,
+  workers, and object store hold no authoritative state; the failure
+  monitor detects the death via missed heartbeats, marks the node dead,
+  and re-places the node's orphaned tasks from the (surviving) task table.
+* **Lineage replay** — objects whose only replicas were on the dead node
+  are reconstructed on demand by re-executing the task recorded as their
+  producer; missing inputs of the replayed task recurse through the same
+  path.
+"""
+
+from repro.fault.lineage import LineageManager
+from repro.fault.monitor import FailureMonitor
+
+__all__ = ["LineageManager", "FailureMonitor"]

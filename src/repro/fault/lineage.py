@@ -1,0 +1,109 @@
+"""Lineage-replay reconstruction of lost objects.
+
+"The database stores the computation lineage, which allows us to
+reconstruct lost data by replaying the computation" (Section 3.2.1).
+The task table row for an object's producer *is* its lineage: to rebuild
+the object we resubmit that spec; if the replayed task's own inputs are
+also lost, the worker executing it hits the same reconstruction path
+recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.task import TaskState
+from repro.errors import ObjectLostError
+from repro.utils.ids import NodeID, ObjectID
+
+
+class LineageManager:
+    """Coordinates on-demand reconstruction; deduplicates concurrent
+    requests for the same object."""
+
+    #: Task-table states meaning "already on its way to being produced".
+    _IN_FLIGHT = frozenset(
+        {
+            TaskState.SUBMITTED,
+            TaskState.WAITING,
+            TaskState.QUEUED,
+            TaskState.SPILLED,
+            TaskState.ASSIGNED,
+            TaskState.RUNNING,
+        }
+    )
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self._inflight: dict[ObjectID, object] = {}
+        self.reconstructions_started = 0
+
+    def reconstruct_and_wait(self, node_id: NodeID, object_id: ObjectID) -> Generator:
+        """Process: ensure ``object_id`` is (or becomes) available somewhere.
+
+        Returns once the object table reports the object ready on a live
+        node.  Raises :class:`ObjectLostError` for unreconstructable
+        objects (driver ``put``s have no producing task) or when the
+        reconstruction budget is exhausted.
+        """
+        pending = self._inflight.get(object_id)
+        if pending is not None:
+            yield pending
+            return
+
+        done = self.sim.signal(name=f"reconstruct:{object_id.hex[:8]}")
+        self._inflight[object_id] = done
+        try:
+            yield from self._reconstruct(node_id, object_id)
+        finally:
+            self._inflight.pop(object_id, None)
+            if not done.fired:
+                done.fire(None)
+
+    def _reconstruct(self, node_id: NodeID, object_id: ObjectID) -> Generator:
+        runtime = self.runtime
+        cp = runtime.control_plane
+
+        entry = yield from cp.object_lookup(node_id, object_id)
+        if any(runtime.node_alive(n) for n in entry.locations):
+            return  # a live replica exists after all
+        if entry.producer_task is None:
+            raise ObjectLostError(
+                f"object {object_id} was created by put() and has no lineage "
+                "to replay"
+            )
+
+        task_entry = yield from cp.task_get(node_id, entry.producer_task)
+        if task_entry is None or task_entry.spec is None:
+            raise ObjectLostError(
+                f"no task-table lineage for object {object_id} "
+                f"(producer {entry.producer_task})"
+            )
+        spec = task_entry.spec
+        if task_entry.attempts > spec.max_reconstructions:
+            raise ObjectLostError(
+                f"object {object_id} exceeded max_reconstructions="
+                f"{spec.max_reconstructions}"
+            )
+
+        # If the producer is already executing somewhere alive (e.g. the
+        # failure monitor resubmitted it), don't double-submit.
+        executing = (
+            task_entry.state in self._IN_FLIGHT
+            and (task_entry.node is None or runtime.node_alive(task_entry.node))
+        )
+        if not executing:
+            self.reconstructions_started += 1
+            cp.log(
+                "lineage_replay",
+                task_id=spec.task_id,
+                object_id=object_id,
+                function=spec.function_name,
+                attempt=task_entry.attempts + 1,
+            )
+            runtime.resubmit(spec)
+
+        yield from runtime.await_ready(
+            node_id, object_id, require_live_location=True
+        )

@@ -1,0 +1,18 @@
+"""The threaded backend: the same API executed by real OS threads.
+
+Where :mod:`repro.core.runtime` *models* a cluster in virtual time, this
+backend actually runs task bodies, concurrently, on a pool of worker
+threads organized into logical "nodes" (CPU/GPU slot accounting per node,
+placement hints, dependency-driven dispatch).  It exists to demonstrate
+that the programming model is executable — arbitrary Python functions,
+futures, nested tasks, ``wait`` — and to measure the Section 4.1
+microbenchmarks in real wall-clock microseconds.
+
+Being a single-process deployment, all "nodes" share one object store
+(shared memory), there is no network, and fault injection is not
+supported; use the simulated backend for failure and placement studies.
+"""
+
+from repro.local.runtime import LocalRuntime
+
+__all__ = ["LocalRuntime"]

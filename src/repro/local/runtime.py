@@ -1,0 +1,391 @@
+"""Threaded runtime: real workers, real futures, real time."""
+
+from __future__ import annotations
+
+import inspect
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.object_ref import ObjectRef
+from repro.core.task import ResourceRequest, TaskSpec
+from repro.core.worker import ErrorValue, error_value_from, propagate_error
+from repro.errors import BackendError, TimeoutError_
+from repro.utils.ids import FunctionID, IDGenerator, NodeID, ObjectID
+from repro.utils.serialization import deserialize, serialize
+
+_POISON = object()
+
+
+@dataclass
+class _Node:
+    """One logical node: a worker-thread pool with resource slots."""
+
+    node_id: NodeID
+    num_cpus: int
+    num_gpus: int
+    available_cpus: int
+    available_gpus: int
+    task_queue: "queue.Queue" = field(default_factory=queue.Queue)
+    threads: list = field(default_factory=list)
+    pending: list = field(default_factory=list)  # runnable, awaiting slots
+    tasks_executed: int = 0
+
+
+class LocalRuntime:
+    """Thread-pool implementation of the backend protocol."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        seed: int = 0,
+        **_ignored: Any,
+    ) -> None:
+        self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
+        self.ids = IDGenerator(namespace=f"repro-local/{seed}")
+        self.closed = False
+
+        self._lock = threading.RLock()
+        self._ready_cond = threading.Condition(self._lock)
+        #: Shared object store (single-process: all nodes share memory).
+        self._objects: dict[ObjectID, bytes] = {}
+        #: Tasks whose dependencies are not all ready yet.
+        self._waiting: dict = {}
+        self._dep_index: dict[ObjectID, set] = {}
+        self._functions: dict[FunctionID, Callable] = {}
+        self._tls = threading.local()
+
+        self.node_ids: list[NodeID] = []
+        self._nodes: dict[NodeID, _Node] = {}
+        for spec in self.cluster.nodes:
+            node_id = self.ids.node_id()
+            node = _Node(
+                node_id=node_id,
+                num_cpus=spec.num_cpus,
+                num_gpus=spec.num_gpus,
+                available_cpus=spec.num_cpus,
+                available_gpus=spec.num_gpus,
+            )
+            self.node_ids.append(node_id)
+            self._nodes[node_id] = node
+            for index in range(spec.num_cpus + spec.num_gpus):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(node,),
+                    name=f"repro-worker-{node_id.hex[:6]}-{index}",
+                    daemon=True,
+                )
+                node.threads.append(thread)
+                thread.start()
+        self.head_node_id = self.node_ids[0]
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+
+    def register_function(self, function: Callable, name: str) -> FunctionID:
+        function_id = self.ids.function_id()
+        with self._lock:
+            self._functions[function_id] = function
+        return function_id
+
+    def submit_task(
+        self,
+        function: Callable,
+        function_id: FunctionID,
+        function_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        duration: Any = None,          # modeled durations are a sim concept
+        placement_hint: Optional[NodeID] = None,
+        max_reconstructions: int = 3,
+    ) -> ObjectRef:
+        self._check_open()
+        max_cpus = self.cluster.max_cpus_per_node()
+        max_gpus = self.cluster.max_gpus_per_node()
+        if not resources.fits_node(max_cpus, max_gpus):
+            raise BackendError(
+                f"task {function_name} requests {resources} but the largest "
+                f"node has {max_cpus} CPUs / {max_gpus} GPUs"
+            )
+        spec = TaskSpec(
+            task_id=self.ids.task_id(),
+            function_id=function_id,
+            function_name=function_name,
+            function=function,
+            args=tuple(args),
+            kwargs=dict(kwargs),
+            return_object_id=self.ids.object_id(),
+            resources=resources,
+            duration=duration,
+            submitted_from=self._current_node_id(),
+            placement_hint=placement_hint,
+        )
+        with self._lock:
+            missing = {
+                dep for dep in spec.dependencies() if dep not in self._objects
+            }
+            if missing:
+                self._waiting[spec.task_id] = (spec, missing)
+                for dep in missing:
+                    self._dep_index.setdefault(dep, set()).add(spec.task_id)
+            else:
+                self._enqueue_runnable(spec)
+        return spec.result_ref()
+
+    def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
+        self._check_open()
+        single = isinstance(refs, ObjectRef)
+        try:
+            ref_list = [refs] if single else list(refs)
+        except TypeError:
+            raise TypeError(
+                f"get expects ObjectRef(s), got {type(refs).__name__}"
+            ) from None
+        for ref in ref_list:
+            if not isinstance(ref, ObjectRef):
+                raise TypeError(f"get expects ObjectRef(s), got {type(ref).__name__}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        values = []
+        for ref in ref_list:
+            data = self._wait_for_object(ref.object_id, deadline)
+            value = deserialize(data)
+            if isinstance(value, ErrorValue):
+                raise value.to_exception()
+            values.append(value)
+        return values[0] if single else values
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        self._check_open()
+        ref_list = list(refs)
+        if num_returns < 0:
+            raise ValueError(f"negative num_returns: {num_returns}")
+        if num_returns > len(ref_list):
+            raise ValueError(
+                f"num_returns={num_returns} exceeds number of refs ({len(ref_list)})"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready_cond:
+            while True:
+                ready = [r for r in ref_list if r.object_id in self._objects]
+                if len(ready) >= num_returns:
+                    break
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._ready_cond.wait(timeout=remaining)
+            ready_ids = {r.object_id for r in ref_list if r.object_id in self._objects}
+        ready = [r for r in ref_list if r.object_id in ready_ids]
+        pending = [r for r in ref_list if r.object_id not in ready_ids]
+        return ready, pending
+
+    def put(self, value: Any) -> ObjectRef:
+        self._check_open()
+        object_id = self.ids.object_id()
+        self._store_object(object_id, serialize(value))
+        return ObjectRef(object_id)
+
+    def sleep(self, duration: float) -> None:
+        time.sleep(duration)
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds (monotonic)."""
+        return time.monotonic()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "tasks_executed": sum(n.tasks_executed for n in self._nodes.values()),
+                "objects_stored": len(self._objects),
+                "tasks_waiting": len(self._waiting),
+            }
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for node in self._nodes.values():
+            for _ in node.threads:
+                node.task_queue.put(_POISON)
+        for node in self._nodes.values():
+            for thread in node.threads:
+                thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals (lock held unless noted)
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BackendError("runtime is shut down")
+
+    def _current_node_id(self) -> NodeID:
+        node = getattr(self._tls, "node", None)
+        return node.node_id if node is not None else self.head_node_id
+
+    def _enqueue_runnable(self, spec: TaskSpec) -> None:
+        """Place a dependency-free task on a node (lock held)."""
+        node = self._choose_node(spec)
+        node.pending.append(spec)
+        self._dispatch(node)
+
+    def _choose_node(self, spec: TaskSpec) -> _Node:
+        if spec.placement_hint is not None and spec.placement_hint in self._nodes:
+            return self._nodes[spec.placement_hint]
+        candidates = [
+            node
+            for node in self._nodes.values()
+            if spec.resources.fits_node(node.num_cpus, node.num_gpus)
+        ]
+        # Most free slots first; stable tie-break by node id.
+        return max(
+            candidates,
+            key=lambda n: (n.available_cpus + n.available_gpus, n.node_id.hex),
+        )
+
+    def _dispatch(self, node: _Node) -> None:
+        """Move pending tasks into the worker queue while slots allow."""
+        index = 0
+        while index < len(node.pending):
+            spec = node.pending[index]
+            if spec.resources.fits(node.available_cpus, node.available_gpus):
+                node.pending.pop(index)
+                node.available_cpus -= spec.resources.num_cpus
+                node.available_gpus -= spec.resources.num_gpus
+                node.task_queue.put(spec)
+            else:
+                index += 1
+
+    def _store_object(self, object_id: ObjectID, data: bytes) -> None:
+        """Insert an object and wake dependents/waiters."""
+        with self._ready_cond:
+            self._objects[object_id] = data
+            newly_runnable = []
+            for task_id in self._dep_index.pop(object_id, ()):
+                entry = self._waiting.get(task_id)
+                if entry is None:
+                    continue
+                spec, missing = entry
+                missing.discard(object_id)
+                if not missing:
+                    del self._waiting[task_id]
+                    newly_runnable.append(spec)
+            for spec in sorted(newly_runnable, key=lambda s: s.task_id.hex):
+                self._enqueue_runnable(spec)
+            self._ready_cond.notify_all()
+
+    def _wait_for_object(self, object_id: ObjectID, deadline: Optional[float]) -> bytes:
+        with self._ready_cond:
+            while object_id not in self._objects:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError_(f"get timed out waiting for {object_id}")
+                self._ready_cond.wait(timeout=remaining)
+            return self._objects[object_id]
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, node: _Node) -> None:
+        self._tls.node = node
+        while True:
+            item = node.task_queue.get()
+            if item is _POISON:
+                return
+            self._run_task(node, item)
+            with self._lock:
+                node.available_cpus += item.resources.num_cpus
+                node.available_gpus += item.resources.num_gpus
+                node.tasks_executed += 1
+                self._dispatch(node)
+
+    def _run_task(self, node: _Node, spec: TaskSpec) -> None:
+        args, kwargs, upstream_error = self._resolve_args(spec)
+        if upstream_error is not None:
+            result: Any = propagate_error(upstream_error, spec)
+        else:
+            result = self._execute(spec, args, kwargs)
+        try:
+            data = serialize(result)
+        except TypeError as exc:
+            data = serialize(error_value_from(spec, exc))
+        self._store_object(spec.return_object_id, data)
+
+    def _resolve_args(self, spec: TaskSpec):
+        upstream_error: Optional[ErrorValue] = None
+
+        def resolve(value: Any) -> Any:
+            nonlocal upstream_error
+            if not isinstance(value, ObjectRef):
+                return value
+            data = self._wait_for_object(value.object_id, deadline=None)
+            resolved = deserialize(data)
+            if isinstance(resolved, ErrorValue) and upstream_error is None:
+                upstream_error = resolved
+            return resolved
+
+        args = tuple(resolve(v) for v in spec.args)
+        kwargs = {k: resolve(v) for k, v in spec.kwargs.items()}
+        return args, kwargs, upstream_error
+
+    def _execute(self, spec: TaskSpec, args: tuple, kwargs: dict) -> Any:
+        function = spec.function or self._functions.get(spec.function_id)
+        if function is None:
+            return ErrorValue(
+                task_id=spec.task_id,
+                function_name=spec.function_name,
+                cause_repr=f"function {spec.function_name!r} not registered",
+                chain=(spec.function_name,),
+            )
+        try:
+            if inspect.isgeneratorfunction(function):
+                return self._drive_generator(spec, function(*args, **kwargs))
+            return function(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - user code boundary
+            return error_value_from(spec, exc)
+
+    def _drive_generator(self, spec: TaskSpec, generator) -> Any:
+        """Interpret yielded effects with real blocking calls."""
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_exc is not None:
+                    item = generator.throw(throw_exc)
+                else:
+                    item = generator.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            throw_exc = None
+            send_value = None
+            if isinstance(item, Compute):
+                time.sleep(item.duration)
+            elif isinstance(item, Get):
+                try:
+                    send_value = self.get(item.refs)
+                except Exception as exc:  # TaskError from upstream
+                    throw_exc = exc
+            elif isinstance(item, Wait):
+                send_value = self.wait(
+                    list(item.refs), num_returns=item.num_returns, timeout=item.timeout
+                )
+            elif isinstance(item, Put):
+                send_value = self.put(item.value)
+            else:
+                throw_exc = TypeError(f"task body yielded unsupported effect {item!r}")

@@ -1,0 +1,14 @@
+"""Per-node in-memory object stores and inter-node object transfer.
+
+Each simulated node runs one object store (the shared-memory store in
+Figure 3): workers on the node put results in and read arguments out at
+IPC cost, while arguments produced on other nodes are pulled over the
+network by the transfer manager at latency + size/bandwidth cost.  The
+store enforces a byte capacity with LRU eviction of unpinned objects and
+keeps the control plane's object table in sync with every location change.
+"""
+
+from repro.objectstore.store import LocalObjectStore, ObjectStoreFullError
+from repro.objectstore.transfer import TransferManager
+
+__all__ = ["LocalObjectStore", "ObjectStoreFullError", "TransferManager"]

@@ -1,0 +1,153 @@
+"""The per-node shared-memory object store."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.store.control_plane import ControlPlane
+from repro.utils.ids import NodeID, ObjectID
+
+
+class ObjectStoreFullError(ReproError):
+    """Capacity exceeded and every resident object is pinned."""
+
+
+class LocalObjectStore:
+    """Byte-capacity-bounded store of serialized objects with LRU eviction.
+
+    Objects an executing task depends on are *pinned* for the duration of
+    the task so eviction can never pull an argument out from under a
+    running computation.  Evictions notify the control plane's object
+    table asynchronously (off the critical path), exactly like location
+    drops in the paper's prototype.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeID,
+        capacity: int,
+        control_plane: Optional[ControlPlane] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.node_id = node_id
+        self.capacity = capacity
+        self.control_plane = control_plane
+        self._data: "OrderedDict[ObjectID, bytes]" = OrderedDict()
+        self._pins: dict[ObjectID, int] = {}
+        self.used_bytes = 0
+        self.evictions = 0
+        self.puts = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- basic access -------------------------------------------------------
+
+    def contains(self, object_id: ObjectID) -> bool:
+        return object_id in self._data
+
+    def size_of(self, object_id: ObjectID) -> Optional[int]:
+        data = self._data.get(object_id)
+        return len(data) if data is not None else None
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._data)
+
+    def put(self, object_id: ObjectID, data: bytes) -> None:
+        """Insert serialized bytes, evicting LRU unpinned objects as needed.
+
+        Raises
+        ------
+        ObjectStoreFullError
+            If the object cannot fit even after evicting everything
+            evictable (or is larger than the store's total capacity).
+        """
+        if object_id in self._data:
+            # Idempotent re-put (e.g. a transfer raced a reconstruction).
+            self._data.move_to_end(object_id)
+            return
+        if len(data) > self.capacity:
+            raise ObjectStoreFullError(
+                f"object of {len(data)} bytes exceeds store capacity {self.capacity}"
+            )
+        self._evict_until(len(data))
+        self._data[object_id] = data
+        self.used_bytes += len(data)
+        self.puts += 1
+
+    def get(self, object_id: ObjectID) -> Optional[bytes]:
+        """Return serialized bytes if resident (touches LRU order)."""
+        data = self._data.get(object_id)
+        if data is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(object_id)
+        self.hits += 1
+        return data
+
+    def delete(self, object_id: ObjectID) -> bool:
+        """Explicitly remove an object (no control-plane notification)."""
+        data = self._data.pop(object_id, None)
+        if data is None:
+            return False
+        self.used_bytes -= len(data)
+        self._pins.pop(object_id, None)
+        return True
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, object_id: ObjectID) -> None:
+        """Protect an object from eviction (argument of a running task)."""
+        self._pins[object_id] = self._pins.get(object_id, 0) + 1
+
+    def unpin(self, object_id: ObjectID) -> None:
+        count = self._pins.get(object_id, 0)
+        if count <= 1:
+            self._pins.pop(object_id, None)
+        else:
+            self._pins[object_id] = count - 1
+
+    def is_pinned(self, object_id: ObjectID) -> bool:
+        return self._pins.get(object_id, 0) > 0
+
+    # -- eviction -------------------------------------------------------------
+
+    def _evict_until(self, needed: int) -> None:
+        """Evict LRU unpinned objects until ``needed`` bytes fit."""
+        if needed <= self.free_bytes:
+            return
+        for object_id in list(self._data.keys()):
+            if self.free_bytes >= needed:
+                return
+            if self.is_pinned(object_id):
+                continue
+            data = self._data.pop(object_id)
+            self.used_bytes -= len(data)
+            self.evictions += 1
+            if self.control_plane is not None:
+                self.control_plane.async_object_remove_location(
+                    self.node_id, object_id, self.node_id
+                )
+                self.control_plane.log(
+                    "object_evicted", object_id=object_id, node=self.node_id,
+                    size=len(data),
+                )
+        if self.free_bytes < needed:
+            raise ObjectStoreFullError(
+                f"need {needed} bytes but only {self.free_bytes} evictable on "
+                f"{self.node_id} (pinned objects: {len(self._pins)})"
+            )
+
+    def clear(self) -> None:
+        """Drop everything (node death). No control-plane notifications —
+        the failure handler removes locations in bulk."""
+        self._data.clear()
+        self._pins.clear()
+        self.used_bytes = 0

@@ -1,0 +1,130 @@
+"""Inter-node object transfer.
+
+When a task is placed on a node that lacks one of its argument objects,
+the transfer manager pulls the bytes from a node that has them, paying the
+network model's latency + size/bandwidth time, then registers the new
+location with the object table.  Concurrent requests for the same object
+are deduplicated onto a single in-flight transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ObjectLostError
+from repro.objectstore.store import LocalObjectStore
+from repro.sim.core import Delay, Simulator
+from repro.store.control_plane import ControlPlane
+from repro.utils.ids import NodeID, ObjectID
+
+
+class TransferManager:
+    """Pulls remote objects into this node's local store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: NodeID,
+        store: LocalObjectStore,
+        control_plane: ControlPlane,
+        network: NetworkModel,
+        node_alive: Optional[Callable[[NodeID], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.store = store
+        self.control_plane = control_plane
+        self.network = network
+        #: Liveness oracle, wired by the runtime so transfers from nodes
+        #: that died mid-flight retry against surviving replicas.
+        self.node_alive = node_alive or (lambda _node: True)
+        self._inflight: dict[ObjectID, object] = {}
+        self.transfers_completed = 0
+        self.bytes_transferred = 0
+        #: Wired by the runtime: NodeID -> LocalObjectStore of that node.
+        #: (Simulation shortcut — real systems move bytes over sockets; we
+        #: model the time with ``transfer_time`` and copy directly.)
+        self.peer_stores: dict[NodeID, LocalObjectStore] = {}
+
+    def ensure_local(self, object_id: ObjectID, max_retries: int = 3) -> Generator:
+        """Process: make ``object_id`` resident locally; returns its bytes.
+
+        Raises
+        ------
+        ObjectLostError
+            If the object table lists no live location (the caller — a
+            worker or the driver — may then trigger lineage reconstruction).
+        """
+        data = self.store.get(object_id)
+        if data is not None:
+            return data
+
+        # Deduplicate concurrent fetches of the same object.
+        pending = self._inflight.get(object_id)
+        if pending is not None:
+            yield pending
+            data = self.store.get(object_id)
+            if data is not None:
+                return data
+            # The transfer we piggybacked on failed; fall through and retry.
+
+        done = self.sim.signal(name=f"xfer:{object_id.hex[:8]}")
+        self._inflight[object_id] = done
+        try:
+            data = yield from self._fetch(object_id, max_retries)
+            return data
+        finally:
+            self._inflight.pop(object_id, None)
+            if not done.fired:
+                done.fire(None)
+
+    def _fetch(self, object_id: ObjectID, max_retries: int) -> Generator:
+        last_error = "no locations"
+        for _attempt in range(max_retries):
+            entry = yield from self.control_plane.object_lookup(self.node_id, object_id)
+            live = [n for n in entry.locations if self.node_alive(n)]
+            if self.node_id in live:
+                # Raced with another writer; already here.
+                data = self.store.get(object_id)
+                if data is not None:
+                    return data
+                live.remove(self.node_id)
+            if not live:
+                if not entry.ready:
+                    last_error = "object not yet produced"
+                break
+            # Deterministic source choice: lowest node hex (stable ordering).
+            source = min(live, key=lambda n: n.hex)
+            yield Delay(self.network.transfer_time(source, self.node_id, entry.size))
+            if not self.node_alive(source):
+                last_error = f"source {source} died mid-transfer"
+                continue
+            data = self._materialize(object_id, entry.size, source)
+            if data is not None:
+                return data
+            last_error = "source dropped object during transfer"
+        raise ObjectLostError(
+            f"object {object_id} unavailable on any live node ({last_error})"
+        )
+
+    def _materialize(self, object_id: ObjectID, size: int, source: NodeID) -> Optional[bytes]:
+        """Copy bytes from the source store into ours and record location."""
+        source_store = self._peer_store(source)
+        data = source_store.get(object_id) if source_store is not None else None
+        if data is None:
+            return None
+        self.store.put(object_id, data)
+        self.transfers_completed += 1
+        self.bytes_transferred += size
+        self.control_plane.async_object_add_location(
+            self.node_id, object_id, self.node_id, size
+        )
+        self.control_plane.log(
+            "object_transferred", object_id=object_id,
+            source=source, dest=self.node_id, size=size,
+        )
+        return data
+
+    def _peer_store(self, node_id: NodeID) -> Optional[LocalObjectStore]:
+        return self.peer_stores.get(node_id)

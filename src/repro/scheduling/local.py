@@ -1,0 +1,322 @@
+"""Per-node local scheduler.
+
+Every node runs one.  Locally-born tasks (from the driver or from workers
+creating nested tasks, R3) enter here; the scheduler resolves dataflow
+dependencies against the object table, then either queues the task for its
+own workers or spills it to a global scheduler per the spillover policy.
+"Enabling any local scheduler to handle locally generated work without
+involving a global scheduler improves low latency, by avoiding
+communication overheads, and throughput, by significantly reducing the
+global scheduler load" (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.task import TaskSpec, TaskState
+from repro.scheduling.policies import SpilloverPolicy
+from repro.sim.core import Delay, Signal
+from repro.store.control_plane import NodeInfo
+from repro.utils.ids import NodeID, ObjectID, TaskID
+
+
+class LocalScheduler:
+    """Node-level scheduler: dependency tracking, queueing, spillover."""
+
+    def __init__(
+        self,
+        runtime,
+        node_id: NodeID,
+        num_cpus: int,
+        num_gpus: int,
+        policy: SpilloverPolicy,
+    ) -> None:
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.node_id = node_id
+        self.num_cpus = num_cpus
+        self.num_gpus = num_gpus
+        self.policy = policy
+
+        self.available_cpus = num_cpus
+        self.available_gpus = num_gpus
+        #: Workers attached by the runtime after construction.
+        self.workers: list = []
+
+        self.runnable: list[TaskSpec] = []
+        self._waiting_missing: dict[TaskID, set] = {}
+        self._waiting_specs: dict[TaskID, TaskSpec] = {}
+        self._dep_waiters: dict[ObjectID, set] = {}
+        self._known_ready: set = set()
+        #: Workers whose task released its resources mid-body (blocked on
+        #: a Get/Wait effect) and the FIFO of resumption grants.
+        self.blocked_workers = 0
+        self._resume_queue: list = []
+        self.dead = False
+
+        # Counters (R7 / experiment instrumentation).
+        self.tasks_submitted = 0
+        self.tasks_spilled = 0
+        self.tasks_executed = 0
+        self.tasks_received = 0
+
+    # ------------------------------------------------------------------
+    # Submission (locally-born work)
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: TaskSpec, accepted: Optional[Signal] = None) -> None:
+        """Accept a locally-born task; non-blocking for the submitter.
+
+        ``accepted`` (if given) fires once the submit overhead has been
+        paid — the driver blocks on it so that task creation costs the
+        paper's ~35 µs, while nested worker submissions fire-and-forget.
+        """
+        if self.dead:
+            if accepted is not None and not accepted.fired:
+                accepted.fire(None)
+            return
+        self.tasks_submitted += 1
+        self.sim.spawn(
+            self._submit_proc(spec, accepted), name=f"submit:{spec.function_name}"
+        )
+
+    def _submit_proc(self, spec: TaskSpec, accepted: Optional[Signal]) -> Generator:
+        yield Delay(self.runtime.costs.submit_overhead)
+        if accepted is not None and not accepted.fired:
+            accepted.fire(spec.result_ref())
+        cp = self.runtime.control_plane
+        # Record lineage even if this node just died: the durable task
+        # table is what lets the failure monitor resubmit orphaned work.
+        cp.async_task_put(self.node_id, spec.task_id, spec)
+        if self.dead:
+            return
+
+        missing = {
+            dep
+            for dep in spec.dependencies()
+            if dep not in self._known_ready and not self._store_has(dep)
+        }
+        if not missing:
+            self._on_runnable(spec)
+            return
+
+        self._waiting_missing[spec.task_id] = missing
+        self._waiting_specs[spec.task_id] = spec
+        cp.async_task_set_state(
+            self.node_id, spec.task_id, TaskState.WAITING, node=self.node_id
+        )
+        for dep in missing:
+            already_watched = dep in self._dep_waiters
+            self._dep_waiters.setdefault(dep, set()).add(spec.task_id)
+            if not already_watched:
+                self.sim.spawn(self._subscribe_dep(dep), name="dep-subscribe")
+
+    def _subscribe_dep(self, dep: ObjectID) -> Generator:
+        """Watch one dependency; handles the already-ready fast path."""
+        snapshot = yield from self.runtime.control_plane.object_subscribe_ready(
+            self.node_id, dep, lambda _entry, d=dep: self._dep_ready(d)
+        )
+        if snapshot.ready:
+            self._dep_ready(dep)
+
+    def _store_has(self, object_id: ObjectID) -> bool:
+        return self.runtime.object_store(self.node_id).contains(object_id)
+
+    def _dep_ready(self, dep: ObjectID) -> None:
+        """Object-table notification: a dependency is now ready somewhere."""
+        if self.dead:
+            return
+        self._known_ready.add(dep)
+        for task_id in sorted(self._dep_waiters.pop(dep, ()), key=lambda t: t.hex):
+            missing = self._waiting_missing.get(task_id)
+            if missing is None:
+                continue
+            missing.discard(dep)
+            if not missing:
+                del self._waiting_missing[task_id]
+                spec = self._waiting_specs.pop(task_id)
+                self._on_runnable(spec)
+
+    # ------------------------------------------------------------------
+    # Keep-or-spill decision
+    # ------------------------------------------------------------------
+
+    def _on_runnable(self, spec: TaskSpec) -> None:
+        backlog = len(self.runnable) + self.busy_workers()
+        spill = self.policy.should_spill(
+            spec, self.num_cpus, self.num_gpus, backlog, self.node_id
+        ) and self.runtime.has_global_scheduler
+        cp = self.runtime.control_plane
+        if spill:
+            self.tasks_spilled += 1
+            cp.async_task_set_state(self.node_id, spec.task_id, TaskState.SPILLED)
+            cp.log("task_spilled", task_id=spec.task_id, node=self.node_id,
+                   function=spec.function_name)
+            self.sim.spawn(self._spill_proc(spec), name="spill")
+        else:
+            cp.async_task_set_state(
+                self.node_id, spec.task_id, TaskState.QUEUED, node=self.node_id
+            )
+            self.runnable.append(spec)
+            self._dispatch()
+
+    def _spill_proc(self, spec: TaskSpec) -> Generator:
+        scheduler = self.runtime.pick_global_scheduler(spec)
+        yield Delay(self.runtime.network.latency(self.node_id, scheduler.node_id))
+        scheduler.receive(spec)
+
+    def receive_assigned(self, spec: TaskSpec) -> None:
+        """A global scheduler placed this task here; it cannot bounce."""
+        if self.dead:
+            # The global scheduler raced our death; hand the task back for
+            # re-placement rather than dropping it.
+            self.runtime.reroute_from_dead_node(spec, self.node_id)
+            return
+        self.tasks_received += 1
+        self.runtime.control_plane.async_task_set_state(
+            self.node_id, spec.task_id, TaskState.QUEUED, node=self.node_id
+        )
+        self.runnable.append(spec)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatch to workers
+    # ------------------------------------------------------------------
+
+    def busy_workers(self) -> int:
+        return sum(1 for worker in self.workers if worker.busy)
+
+    def _idle_worker(self):
+        for worker in self.workers:
+            if not worker.busy:
+                return worker
+        # Every worker is occupied, but some only *nominally*: their task
+        # released its resources while blocked on a Get/Wait effect.  Spawn
+        # a replacement worker (as Ray's raylets do) so freed slots are not
+        # wasted; the pool is capped at base size + currently-blocked.
+        base = self.num_cpus + self.num_gpus
+        if self.blocked_workers > 0 and len(self.workers) < base + self.blocked_workers:
+            from repro.core.worker import Worker
+
+            worker = Worker(
+                self.runtime, self.node_id, self.runtime.ids.worker_id(), self
+            )
+            self.workers.append(worker)
+            return worker
+        return None
+
+    def _dispatch(self) -> None:
+        """Assign runnable tasks to idle workers while resources allow."""
+        self._grant_resumptions()
+        while True:
+            index = next(
+                (
+                    i
+                    for i, spec in enumerate(self.runnable)
+                    if spec.resources.fits(self.available_cpus, self.available_gpus)
+                ),
+                None,
+            )
+            if index is None:
+                return
+            worker = self._idle_worker()
+            if worker is None:
+                return
+            spec = self.runnable.pop(index)
+            self.available_cpus -= spec.resources.num_cpus
+            self.available_gpus -= spec.resources.num_gpus
+            worker.start(spec)
+
+    # -- blocked-task resource release (Get/Wait effects) -------------------
+
+    def release_while_blocked(self, worker, spec: TaskSpec) -> None:
+        """The task on ``worker`` is about to block: free its slots so
+        other work (often its own children, R3) can use them."""
+        if self.dead:
+            return
+        worker.resources_held = False
+        self.available_cpus += spec.resources.num_cpus
+        self.available_gpus += spec.resources.num_gpus
+        self.blocked_workers += 1
+        self._dispatch()
+
+    def reacquire_after_blocked(self, worker, spec: TaskSpec):
+        """Request the task's slots back; returns a signal fired on grant.
+
+        Resumptions have strict priority over dispatching new tasks, so a
+        resumed parent cannot be starved by its own queued children.
+        """
+        signal = self.sim.signal(name="resume")
+        self._resume_queue.append((worker, spec, signal))
+        self._grant_resumptions()
+        return signal
+
+    def _grant_resumptions(self) -> None:
+        while self._resume_queue:
+            worker, spec, signal = self._resume_queue[0]
+            if not spec.resources.fits(self.available_cpus, self.available_gpus):
+                return
+            self._resume_queue.pop(0)
+            self.available_cpus -= spec.resources.num_cpus
+            self.available_gpus -= spec.resources.num_gpus
+            self.blocked_workers -= 1
+            worker.resources_held = True
+            signal.fire(None)
+
+    def task_finished(self, worker, spec: TaskSpec) -> None:
+        """Worker callback: release resources and keep dispatching."""
+        if worker.resources_held:
+            self.available_cpus += spec.resources.num_cpus
+            self.available_gpus += spec.resources.num_gpus
+        else:
+            # The task ended while blocked (e.g. an unrecoverable fetch
+            # error): it no longer counts as blocked and any pending
+            # resumption grant is void.
+            self.blocked_workers -= 1
+            self._resume_queue = [
+                entry for entry in self._resume_queue if entry[0] is not worker
+            ]
+        self.tasks_executed += 1
+        if not self.dead:
+            self._dispatch()
+            # On-change load report: freed capacity is news the global
+            # scheduler can act on immediately (a periodic-only heartbeat
+            # would leave spilled work queued for up to a full interval).
+            if self.available_cpus > 0 or self.available_gpus > 0:
+                self.runtime.control_plane.async_heartbeat(
+                    self.node_id, self.node_info()
+                )
+
+    # ------------------------------------------------------------------
+    # Heartbeats and failure
+    # ------------------------------------------------------------------
+
+    def node_info(self) -> NodeInfo:
+        return NodeInfo(
+            node_id=self.node_id,
+            num_cpus=self.num_cpus,
+            num_gpus=self.num_gpus,
+            available_cpus=self.available_cpus,
+            available_gpus=self.available_gpus,
+            queue_length=len(self.runnable),
+            alive=not self.dead,
+        )
+
+    def heartbeat_loop(self) -> Generator:
+        """Periodic load report to the control plane (drives global placement
+        and failure detection)."""
+        while not self.dead:
+            self.runtime.control_plane.async_heartbeat(self.node_id, self.node_info())
+            yield Delay(self.runtime.costs.heartbeat_interval)
+
+    def kill(self) -> None:
+        """Node failure: stop scheduling; queued state is recovered from the
+        (surviving) control plane by the failure handler, not from here."""
+        self.dead = True
+        self.runnable.clear()
+        self._waiting_missing.clear()
+        self._waiting_specs.clear()
+        self._dep_waiters.clear()
+        self._resume_queue.clear()
+        self.blocked_workers = 0

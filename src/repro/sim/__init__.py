@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic SimPy-style kernel: a single virtual clock, an
+event heap ordered by ``(time, sequence)``, generator-based cooperative
+processes, signals, interrupts, and capacity-limited resources.
+
+Everything the simulated cluster does — network hops, control-plane RPCs,
+task execution, failures — is expressed as processes over this kernel, so
+an entire multi-node run is reproducible bit-for-bit from a seed.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Delay,
+    Process,
+    ProcessKilled,
+    Resource,
+    Signal,
+    Simulator,
+)
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Process",
+    "ProcessKilled",
+    "Delay",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+]

@@ -1,0 +1,452 @@
+"""The simulation kernel: clock, signals, processes, resources.
+
+Determinism contract
+--------------------
+All events scheduled for the same virtual time fire in the order they were
+scheduled (FIFO via a monotonically increasing sequence number).  Given the
+same seed and the same sequence of API calls, two runs produce identical
+event orders, timestamps, and results.
+
+Process model
+-------------
+A process is a Python generator.  It may ``yield``:
+
+* ``Delay(dt)`` — resume after ``dt`` units of virtual time.
+* a ``Signal`` — resume when the signal fires; the ``yield`` evaluates to
+  the signal's value (or raises the signal's exception).
+* another ``Process`` — resume when that process returns; the ``yield``
+  evaluates to its return value.
+* ``AnyOf([...])`` / ``AllOf([...])`` — combinators over signals/processes.
+
+``Process.kill()`` raises :class:`ProcessKilled` inside the generator at the
+current virtual time, which is how node failures tear down workers and
+schedulers mid-flight.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Process",
+    "ProcessKilled",
+    "Delay",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+]
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process generator when it is killed (node failure)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Yieldable: suspend the process for ``dt`` virtual seconds."""
+
+    dt: float
+
+
+class Signal:
+    """A one-shot level-triggered event carrying a value or an exception.
+
+    Once fired, a signal stays fired: processes that wait on an
+    already-fired signal resume immediately (on the next kernel step).
+    """
+
+    __slots__ = ("sim", "fired", "value", "exception", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: list[Callable[["Signal"], None]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fired" if self.fired else "pending"
+        return f"Signal({self.name or id(self)}, {state})"
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal with a value; wakes all waiters."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        self._flush()
+
+    def fail(self, exception: BaseException) -> None:
+        """Fire the signal with an exception; waiters re-raise it."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.exception = exception
+        self._flush()
+
+    def _flush(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.call_soon(callback, self)
+
+    def add_waiter(self, callback: Callable[["Signal"], None]) -> None:
+        """Register a callback invoked (via the event loop) once fired."""
+        if self.fired:
+            self.sim.call_soon(callback, self)
+        else:
+            self._waiters.append(callback)
+
+
+@dataclass(frozen=True, slots=True)
+class AnyOf:
+    """Yieldable: resume when any of the signals fires.
+
+    The yield evaluates to the list of fired signals (at least one).
+    """
+
+    signals: tuple
+
+    def __init__(self, signals: Iterable[Signal]) -> None:
+        object.__setattr__(self, "signals", tuple(signals))
+
+
+@dataclass(frozen=True, slots=True)
+class AllOf:
+    """Yieldable: resume when all of the signals have fired.
+
+    The yield evaluates to the list of signal values, in order.
+    """
+
+    signals: tuple
+
+    def __init__(self, signals: Iterable[Signal]) -> None:
+        object.__setattr__(self, "signals", tuple(signals))
+
+
+class Process:
+    """A running generator coroutine inside the simulator.
+
+    The process's completion is observable via :attr:`done_signal`, which
+    fires with the generator's return value (or fails with its exception).
+    """
+
+    __slots__ = ("sim", "generator", "name", "done_signal", "alive", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done_signal = Signal(sim, name=f"done:{self.name}")
+        self.alive = True
+        self._waiting_on: Optional[Signal] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Process({self.name}, alive={self.alive})"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self) -> None:
+        self.sim.call_soon(self._step, None, None)
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        """Advance the generator by one yield."""
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if throw_exc is not None:
+                yielded = self.generator.throw(throw_exc)
+            else:
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done_signal.fire(stop.value)
+            return
+        except ProcessKilled:
+            self.alive = False
+            if not self.done_signal.fired:
+                self.done_signal.fail(ProcessKilled(self.name))
+            return
+        except BaseException as exc:
+            self.alive = False
+            self.done_signal.fail(exc)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        """Arrange for the process to resume according to what it yielded."""
+        if isinstance(yielded, Delay):
+            self.sim.call_after(yielded.dt, self._step, None, None)
+        elif isinstance(yielded, Signal):
+            self._waiting_on = yielded
+            yielded.add_waiter(self._on_signal)
+        elif isinstance(yielded, Process):
+            self._waiting_on = yielded.done_signal
+            yielded.done_signal.add_waiter(self._on_signal)
+        elif isinstance(yielded, AnyOf):
+            self._wait_any(yielded.signals)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.signals)
+        else:
+            self._step(
+                None,
+                TypeError(f"process {self.name} yielded unsupported {yielded!r}"),
+            )
+
+    def _on_signal(self, signal: Signal) -> None:
+        if not self.alive:
+            return
+        if signal.exception is not None:
+            self._step(None, signal.exception)
+        else:
+            self._step(signal.value, None)
+
+    def _wait_any(self, signals: tuple) -> None:
+        if not signals:
+            self.sim.call_soon(self._step, [], None)
+            return
+        resumed = False
+
+        def on_fire(_sig: Signal) -> None:
+            nonlocal resumed
+            if resumed or not self.alive:
+                return
+            resumed = True
+            fired = [s for s in signals if s.fired]
+            exc = next((s.exception for s in fired if s.exception is not None), None)
+            if exc is not None:
+                self._step(None, exc)
+            else:
+                self._step(fired, None)
+
+        for sig in signals:
+            sig.add_waiter(on_fire)
+
+    def _wait_all(self, signals: tuple) -> None:
+        if not signals:
+            self.sim.call_soon(self._step, [], None)
+            return
+        remaining = len(signals)
+
+        def on_fire(sig: Signal) -> None:
+            nonlocal remaining
+            if not self.alive:
+                return
+            if sig.exception is not None:
+                self._step(None, sig.exception)
+                return
+            remaining -= 1
+            if remaining == 0:
+                self._step([s.value for s in signals], None)
+
+        for sig in signals:
+            sig.add_waiter(on_fire)
+
+    def kill(self) -> None:
+        """Kill the process at the current virtual time.
+
+        The generator receives :class:`ProcessKilled` so its ``finally``
+        blocks run; a killed process's done signal fails.
+        """
+        if not self.alive:
+            return
+        # Mark dead immediately so pending wakeups become no-ops, then let
+        # the generator unwind.
+        self.alive = False
+        try:
+            self.generator.throw(ProcessKilled(self.name))
+        except (StopIteration, ProcessKilled):
+            pass
+        except BaseException:
+            pass
+        if not self.done_signal.fired:
+            self.done_signal.fail(ProcessKilled(self.name))
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+
+class Simulator:
+    """The event loop: a heap of timestamped callbacks and a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------------
+
+    def call_at(self, time: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        heapq.heappush(self._heap, _ScheduledEvent(time, next(self._seq), callback, args))
+
+    def call_after(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at the current time, after pending events."""
+        self.call_at(self._now, callback, *args)
+
+    # -- factories -----------------------------------------------------------
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh unfired :class:`Signal`."""
+        return Signal(self, name=name)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        process = Process(self, generator, name=name)
+        process._start()
+        return process
+
+    def timeout_signal(self, delay: float, value: Any = None, name: str = "timeout") -> Signal:
+        """A signal that fires automatically after ``delay``."""
+        sig = self.signal(name=name)
+
+        def _fire() -> None:
+            if not sig.fired:
+                sig.fire(value)
+
+        self.call_after(delay, _fire)
+        return sig
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; return False if the heap is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is left at
+            ``until``).
+        max_events:
+            Safety valve against runaway loops in tests.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
+            self.step()
+            processed += 1
+
+    def run_until_signal(self, signal: Signal, max_events: Optional[int] = None) -> Any:
+        """Drain events until ``signal`` fires; return its value.
+
+        This is the bridge that lets ordinary (non-generator) driver code
+        block on simulation outcomes: ``get`` on the sim backend pumps the
+        event loop through here.
+        """
+        processed = 0
+        while not signal.fired:
+            if not self._heap:
+                raise RuntimeError(
+                    f"deadlock: signal {signal.name!r} cannot fire (no pending events)"
+                )
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
+            self.step()
+            processed += 1
+        if signal.exception is not None:
+            raise signal.exception
+        return signal.value
+
+
+class Resource:
+    """A FIFO capacity-limited resource (CPU slots, store shards, links).
+
+    ``request()`` returns a signal that fires when a slot is granted; the
+    holder must later call ``release()``.  Used with the ``with``-like
+    generator idiom::
+
+        grant = resource.request()
+        yield grant
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release()
+    """
+
+    __slots__ = ("sim", "capacity", "in_use", "_queue", "name")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self.name = name
+        self._queue: list[Signal] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resource({self.name}, {self.in_use}/{self.capacity}, queued={len(self._queue)})"
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Signal:
+        """Request a slot; the returned signal fires when granted."""
+        grant = self.sim.signal(name=f"grant:{self.name}")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.fire(None)
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release a held slot, granting it to the next waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"release on idle resource {self.name!r}")
+        if self._queue:
+            grant = self._queue.pop(0)
+            grant.fire(None)
+        else:
+            self.in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: acquire a slot, hold it for ``duration``, release."""
+        yield self.request()
+        try:
+            yield Delay(duration)
+        finally:
+            self.release()

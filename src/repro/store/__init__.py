@@ -1,0 +1,25 @@
+"""The logically-centralized control plane (Section 3.2.1).
+
+A sharded in-memory store (our stand-in for the paper's Redis deployment)
+holding the four kinds of control state from Figure 3 — the object table,
+task table, function table, and event log — plus publish/subscribe
+channels that let stateless components communicate.
+
+Every read/write is an RPC: the caller pays a network hop to the head node,
+queues at the hash-selected shard (each shard services operations one at a
+time), pays the per-op service time, and pays the hop back.  Sharding is
+therefore the control plane's throughput lever, exactly as in the paper
+("to achieve the throughput requirement (R2), we shard the database").
+"""
+
+from repro.store.control_plane import ControlPlane, NodeInfo, ObjectEntry, TaskEntry
+from repro.store.event_log import EventLog, EventRecord
+
+__all__ = [
+    "ControlPlane",
+    "ObjectEntry",
+    "TaskEntry",
+    "NodeInfo",
+    "EventLog",
+    "EventRecord",
+]

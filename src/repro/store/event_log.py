@@ -1,0 +1,63 @@
+"""Append-only event log (requirement R7: debuggability and profiling).
+
+Components append structured records on every state transition.  The log is
+written off the critical path (the paper's prototype streams events to the
+database asynchronously), so appends carry no simulated cost; the payoff is
+that the profiling and timeline tools in :mod:`repro.tools` can reconstruct
+exactly what the system did and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One logged state transition."""
+
+    timestamp: float
+    kind: str
+    #: Free-form payload; keys are event-kind specific but stable (tested).
+    payload: dict = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+
+class EventLog:
+    """In-memory append-only log with simple filtering."""
+
+    def __init__(self) -> None:
+        self._records: list[EventRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def append(self, timestamp: float, kind: str, **payload: Any) -> None:
+        """Record an event at a virtual (or wall-clock) timestamp."""
+        self._records.append(EventRecord(timestamp, kind, payload))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[EventRecord], bool]] = None,
+    ) -> list[EventRecord]:
+        """Return records matching a kind and/or arbitrary predicate."""
+        records = self._records
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        if predicate is not None:
+            records = [r for r in records if predicate(r)]
+        return list(records)
+
+    def kinds(self) -> set[str]:
+        """All distinct event kinds seen so far."""
+        return {r.kind for r in self._records}
+
+    def clear(self) -> None:
+        self._records.clear()

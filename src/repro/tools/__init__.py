@@ -1,0 +1,33 @@
+"""Debugging and profiling tools (requirement R7).
+
+The centralized control plane "makes it easy to write tools to profile
+and inspect the state of the system" (Section 3.2.1).  Everything here is
+a pure consumer of the event log and control-plane state:
+
+* :func:`export_chrome_trace` — task timeline in Chrome ``about:tracing``
+  / Perfetto JSON format (the prototype's web UI timeline).
+* :class:`TaskProfiler` — per-function latency/throughput aggregates.
+* :class:`ClusterDashboard` — textual cluster state snapshot.
+* :func:`diagnose` — error reports tracing a failure back through the
+  lineage recorded in the task table.
+"""
+
+from repro.tools.dashboard import ClusterDashboard
+from repro.tools.diagnosis import diagnose
+from repro.tools.profiler import FunctionStats, TaskProfiler
+from repro.tools.timeline import export_chrome_trace, task_spans
+from repro.tools.report import run_report
+from repro.tools.utilization import UtilizationProfile, render_gantt, utilization
+
+__all__ = [
+    "run_report",
+    "export_chrome_trace",
+    "task_spans",
+    "TaskProfiler",
+    "FunctionStats",
+    "ClusterDashboard",
+    "diagnose",
+    "utilization",
+    "UtilizationProfile",
+    "render_gantt",
+]

@@ -1,0 +1,66 @@
+"""Textual cluster-state dashboard (the prototype's web UI, in ASCII)."""
+
+from __future__ import annotations
+
+
+class ClusterDashboard:
+    """Snapshot view over a :class:`~repro.core.runtime.SimRuntime`."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+
+    def node_rows(self) -> list:
+        """One dict per node: liveness, utilization, queues, store usage."""
+        rows = []
+        for node_id in self.runtime.node_ids:
+            scheduler = self.runtime.local_scheduler(node_id)
+            store = self.runtime.object_store(node_id)
+            rows.append(
+                {
+                    "node": str(node_id),
+                    "alive": self.runtime.node_alive(node_id),
+                    "busy_workers": scheduler.busy_workers(),
+                    "num_workers": len(scheduler.workers),
+                    "cpus": f"{scheduler.num_cpus - scheduler.available_cpus}"
+                            f"/{scheduler.num_cpus}",
+                    "gpus": f"{scheduler.num_gpus - scheduler.available_gpus}"
+                            f"/{scheduler.num_gpus}",
+                    "queued": len(scheduler.runnable),
+                    "waiting": len(scheduler._waiting_specs),
+                    "executed": scheduler.tasks_executed,
+                    "spilled": scheduler.tasks_spilled,
+                    "store_objects": store.num_objects,
+                    "store_used_mb": store.used_bytes / 1e6,
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """The whole dashboard as text."""
+        runtime = self.runtime
+        lines = [
+            f"cluster @ t={runtime.sim.now:.6f}s  "
+            f"nodes={len(runtime.node_ids)} "
+            f"(alive={len(runtime.alive_nodes)})",
+            f"{'node':<16} {'alive':>5} {'cpu':>7} {'gpu':>5} {'run':>4} "
+            f"{'queue':>5} {'wait':>5} {'done':>7} {'spill':>6} "
+            f"{'objs':>6} {'MB':>8}",
+        ]
+        for row in self.node_rows():
+            lines.append(
+                f"{row['node']:<16} {str(row['alive']):>5} {row['cpus']:>7} "
+                f"{row['gpus']:>5} {row['busy_workers']:>4} {row['queued']:>5} "
+                f"{row['waiting']:>5} {row['executed']:>7} {row['spilled']:>6} "
+                f"{row['store_objects']:>6} {row['store_used_mb']:>8.2f}"
+            )
+        stats = runtime.stats()
+        lines.append(
+            f"control plane: {stats['gcs_ops']} ops over "
+            f"{len(stats['gcs_ops_per_shard'])} shards "
+            f"{stats['gcs_ops_per_shard']}; "
+            f"global scheduler placed {stats['tasks_placed']}; "
+            f"{stats['transfers']} transfers "
+            f"({stats['bytes_transferred'] / 1e6:.2f} MB); "
+            f"{stats['reconstructions']} reconstructions"
+        )
+        return "\n".join(lines)

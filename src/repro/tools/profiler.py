@@ -1,0 +1,73 @@
+"""Per-function execution statistics from the event log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.store.event_log import EventLog
+from repro.tools.timeline import task_spans
+
+
+@dataclass
+class FunctionStats:
+    """Aggregate execution profile for one remote function."""
+
+    name: str
+    durations: list = field(default_factory=list)
+    failures: int = 0
+    nodes: dict = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations)
+
+    @property
+    def total_time(self) -> float:
+        return float(sum(self.durations))
+
+    @property
+    def mean(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.durations:
+            return 0.0
+        return float(np.percentile(np.asarray(self.durations), q))
+
+
+class TaskProfiler:
+    """Builds per-function profiles; the paper's "profiling tools" box."""
+
+    def __init__(self, event_log: EventLog) -> None:
+        self.event_log = event_log
+
+    def profile(self) -> dict:
+        """Return {function name -> FunctionStats}."""
+        stats: dict[str, FunctionStats] = {}
+        for span in task_spans(self.event_log):
+            entry = stats.setdefault(span.function, FunctionStats(name=span.function))
+            entry.durations.append(span.duration)
+            entry.nodes[span.node] = entry.nodes.get(span.node, 0) + 1
+            if span.failed:
+                entry.failures += 1
+        return stats
+
+    def report(self) -> str:
+        """Human-readable profile table."""
+        stats = self.profile()
+        if not stats:
+            return "no task executions recorded"
+        lines = [
+            f"{'function':<24} {'count':>6} {'mean(ms)':>9} {'p50(ms)':>9} "
+            f"{'p95(ms)':>9} {'total(s)':>9} {'fail':>5}"
+        ]
+        for name in sorted(stats):
+            s = stats[name]
+            lines.append(
+                f"{name:<24} {s.count:>6} {s.mean * 1e3:>9.3f} "
+                f"{s.percentile(50) * 1e3:>9.3f} {s.percentile(95) * 1e3:>9.3f} "
+                f"{s.total_time:>9.3f} {s.failures:>5}"
+            )
+        return "\n".join(lines)

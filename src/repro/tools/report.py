@@ -1,0 +1,60 @@
+"""One-shot run report: everything R7 promises, in one artifact.
+
+Combines the cluster dashboard, per-function profile, utilization
+summary, failure history, and (optionally) the ASCII gantt into a single
+text report — the terminal equivalent of the paper's "Web UI / Debugging
+Tools / Profiling Tools" box in Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.tools.dashboard import ClusterDashboard
+from repro.tools.profiler import TaskProfiler
+from repro.tools.utilization import render_gantt, utilization
+
+
+def run_report(runtime, include_gantt: bool = False, gantt_width: int = 72) -> str:
+    """Render a full post-run report for a simulated runtime."""
+    sections = []
+
+    sections.append("== cluster state ==")
+    sections.append(ClusterDashboard(runtime).render())
+
+    sections.append("\n== task profile ==")
+    sections.append(TaskProfiler(runtime.event_log).report())
+
+    profile = utilization(runtime.event_log, num_bins=20)
+    sections.append("\n== utilization (mean busy workers per node) ==")
+    if profile.per_node:
+        for node, series in sorted(profile.per_node.items()):
+            mean = float(series.mean())
+            peak = float(series.max())
+            bar = "#" * int(round(mean)) or "."
+            sections.append(f"  {node:<18} mean {mean:5.2f}  peak {peak:5.2f}  {bar}")
+        cluster_series = profile.cluster_series()
+        sections.append(
+            f"  cluster peak parallelism: {float(cluster_series.max()):.1f} workers"
+        )
+    else:
+        sections.append("  (no task executions recorded)")
+
+    failures = runtime.event_log.filter(kind="failure_detected")
+    replays = runtime.event_log.filter(kind="lineage_replay")
+    orphans = runtime.event_log.filter(kind="task_orphaned")
+    sections.append("\n== failures ==")
+    if failures or replays or orphans:
+        for record in failures:
+            sections.append(
+                f"  t={record.timestamp:.4f} node {record.get('node')} declared dead"
+            )
+        sections.append(
+            f"  {len(orphans)} task(s) re-placed, {len(replays)} lineage replay(s)"
+        )
+    else:
+        sections.append("  none")
+
+    if include_gantt:
+        sections.append("\n== gantt ==")
+        sections.append(render_gantt(runtime.event_log, width=gantt_width))
+
+    return "\n".join(sections)

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: identifiers, RNG streams, serialization.
+
+These helpers are deliberately dependency-free so that every other
+subpackage (simulation kernel, control plane, schedulers, workloads) can
+build on them without import cycles.
+"""
+
+from repro.utils.ids import (
+    FunctionID,
+    NodeID,
+    ObjectID,
+    TaskID,
+    WorkerID,
+    IDGenerator,
+)
+from repro.utils.rng import RNGRegistry
+from repro.utils.serialization import deserialize, serialize, serialized_size
+
+__all__ = [
+    "FunctionID",
+    "NodeID",
+    "ObjectID",
+    "TaskID",
+    "WorkerID",
+    "IDGenerator",
+    "RNGRegistry",
+    "serialize",
+    "deserialize",
+    "serialized_size",
+]

@@ -1,0 +1,42 @@
+"""Object serialization used by the object stores.
+
+Both backends store *serialized* values, exactly as the paper's shared-memory
+object store would: putting an object costs a serialization, getting it costs
+a deserialization, and the serialized size drives transfer times over the
+simulated network and eviction pressure in the store.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+#: Protocol 5 supports out-of-band buffers; we use it for realistic sizes on
+#: numpy arrays while staying stdlib-only.
+_PROTOCOL = 5
+
+
+def serialize(value: Any) -> bytes:
+    """Serialize ``value`` to bytes.
+
+    Raises
+    ------
+    TypeError
+        If the value is not picklable (e.g. a lambda result containing a
+        socket); surfacing this at ``put`` time mirrors real systems, where
+        unserializable returns fail in the worker, not silently later.
+    """
+    try:
+        return pickle.dumps(value, protocol=_PROTOCOL)
+    except Exception as exc:
+        raise TypeError(f"value of type {type(value).__name__} is not serializable: {exc}") from exc
+
+
+def deserialize(data: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    return pickle.loads(data)
+
+
+def serialized_size(value: Any) -> int:
+    """Return the serialized size of ``value`` in bytes."""
+    return len(serialize(value))

@@ -1,0 +1,18 @@
+"""Workloads from the paper's motivating example and evaluation.
+
+* :mod:`repro.workloads.atari` — synthetic Atari-like environment and
+  linear policy (stand-in for the ALE emulator of Section 4.2).
+* :mod:`repro.workloads.rl` — the Section 4.2 training loop (parallel
+  simulations alternating with GPU model fitting) implemented four ways:
+  serial, Spark-like BSP, ours, and ours with ``wait`` pipelining.
+* :mod:`repro.workloads.mcts` — Monte Carlo tree search with dynamic task
+  spawning (Figure 2b; requirement R3).
+* :mod:`repro.workloads.rnn` — heterogeneous per-layer tasks with chain
+  dependencies (Figure 2c; requirements R4, R5).
+* :mod:`repro.workloads.sensor_fusion` — streaming multi-sensor fusion
+  (Figure 2a).
+"""
+
+from repro.workloads.atari import LinearPolicy, SyntheticAtariEnv, es_update, rollout
+
+__all__ = ["SyntheticAtariEnv", "LinearPolicy", "rollout", "es_update"]

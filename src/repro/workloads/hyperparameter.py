@@ -1,0 +1,195 @@
+"""Adaptive hyperparameter search over nested RL training (Section 4.2).
+
+"...or run the entire workload nested within a larger adaptive
+hyperparameter search.  These changes are all straightforward using the
+API described in Section 3.1 and involve a few extra lines of code."
+
+Each *trial* is itself a task that spawns its own simulation tasks (task
+creating tasks, R3) and trains an ES policy for some iterations.  The
+search runs successive halving: every rung runs the surviving configs in
+parallel, harvests them in completion order with ``wait``, then promotes
+the best half with a doubled iteration budget, warm-starting from their
+learned weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.workloads.atari import (
+    NUM_ACTIONS,
+    OBS_DIM,
+    es_update,
+    evaluate_policy,
+    rollout,
+)
+
+_rollout_task = repro.RemoteFunction(rollout, name="hp_rollout")
+
+
+@dataclass(frozen=True)
+class HPSearchConfig:
+    """Successive-halving search space and budgets."""
+
+    #: (learning_rate, sigma) candidates; defaults span two decades.
+    candidates: tuple = (
+        (0.002, 0.02), (0.002, 0.1), (0.01, 0.02), (0.01, 0.1),
+        (0.05, 0.02), (0.05, 0.1), (0.2, 0.02), (0.2, 0.1),
+    )
+    #: ES iterations granted at the first rung; doubles per rung.
+    base_iterations: int = 2
+    #: Number of halving rungs.
+    num_rungs: int = 3
+    rollouts_per_iteration: int = 16
+    rollout_duration: float = 0.007
+    horizon: int = 40
+    env_seed: int = 0
+    base_seed: int = 7000
+
+    def __post_init__(self) -> None:
+        if len(self.candidates) < 2:
+            raise ValueError("need at least two candidate configs")
+        if self.num_rungs < 1:
+            raise ValueError("num_rungs must be >= 1")
+        if self.base_iterations < 1:
+            raise ValueError("base_iterations must be >= 1")
+
+    def rung_iterations(self, rung: int) -> int:
+        return self.base_iterations * (2 ** rung)
+
+    def survivors_at(self, rung: int) -> int:
+        """How many trials run at a given rung (halved per rung, >= 1)."""
+        return max(1, len(self.candidates) // (2 ** rung))
+
+
+@dataclass
+class TrialOutcome:
+    learning_rate: float
+    sigma: float
+    reward: float
+    iterations_used: int
+    weights: np.ndarray
+
+
+@dataclass
+class SearchResult:
+    best: TrialOutcome
+    trials_run: int
+    total_task_iterations: int
+    elapsed: float
+    rung_history: list = field(default_factory=list)
+
+
+def _make_trial_task(config: HPSearchConfig):
+    """Build the trial task: a generator body spawning nested rollouts."""
+    rollout_fn = _rollout_task.options(duration=config.rollout_duration)
+
+    def hp_trial(learning_rate, sigma, weights, iterations, trial_index):
+        if weights is None:
+            weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+        for iteration in range(iterations):
+            base = (
+                config.base_seed
+                + trial_index * 100_000
+                + iteration * config.rollouts_per_iteration
+            )
+            refs = [
+                rollout_fn.remote(
+                    weights, base + i, sigma, config.env_seed, config.horizon
+                )
+                for i in range(config.rollouts_per_iteration)
+            ]
+            results = yield repro.Get(refs)
+            weights = es_update(
+                weights, results, sigma=sigma, learning_rate=learning_rate
+            )
+        reward = evaluate_policy(weights, config.env_seed, config.horizon)
+        return {
+            "learning_rate": learning_rate,
+            "sigma": sigma,
+            "reward": reward,
+            "iterations": iterations,
+            "weights": weights,
+        }
+
+    return repro.remote(hp_trial)
+
+
+def run_search(config: HPSearchConfig) -> SearchResult:
+    """Run the adaptive search on the current runtime."""
+    trial_task = _make_trial_task(config)
+
+    survivors = [
+        TrialOutcome(
+            learning_rate=lr, sigma=sigma, reward=float("-inf"),
+            iterations_used=0, weights=None,
+        )
+        for lr, sigma in config.candidates
+    ]
+    trials_run = 0
+    total_iterations = 0
+    rung_history = []
+    start = repro.now()
+
+    for rung in range(config.num_rungs):
+        iterations = config.rung_iterations(rung)
+        keep = config.survivors_at(rung)
+        survivors = survivors[:keep]
+        pending = {}
+        for index, trial in enumerate(survivors):
+            ref = trial_task.remote(
+                trial.learning_rate, trial.sigma, trial.weights,
+                iterations, trials_run + index,
+            )
+            pending[ref] = trial
+        trials_run += len(pending)
+        total_iterations += iterations * len(pending)
+
+        # Harvest in completion order (the paper's wait primitive): the
+        # search reacts to results as they land rather than barriering.
+        outcomes = []
+        remaining = list(pending.keys())
+        while remaining:
+            ready, remaining = repro.wait(remaining, num_returns=1)
+            for ref in ready:
+                outcome = repro.get(ref)
+                outcomes.append(
+                    TrialOutcome(
+                        learning_rate=outcome["learning_rate"],
+                        sigma=outcome["sigma"],
+                        reward=outcome["reward"],
+                        iterations_used=outcome["iterations"],
+                        weights=outcome["weights"],
+                    )
+                )
+        outcomes.sort(key=lambda t: t.reward, reverse=True)
+        rung_history.append(
+            {
+                "rung": rung,
+                "iterations": iterations,
+                "rewards": [round(t.reward, 3) for t in outcomes],
+            }
+        )
+        survivors = outcomes
+
+    return SearchResult(
+        best=survivors[0],
+        trials_run=trials_run,
+        total_task_iterations=total_iterations,
+        elapsed=repro.now() - start,
+        rung_history=rung_history,
+    )
+
+
+def exhaustive_budget(config: HPSearchConfig) -> int:
+    """Trial-iterations a non-adaptive grid search needs.
+
+    A full-budget trial accumulates every rung's iterations (the adaptive
+    search warm-starts each rung from the previous one), so grid search
+    pays ``base * (2^rungs - 1)`` iterations for *every* candidate.
+    """
+    per_trial = config.base_iterations * (2 ** config.num_rungs - 1)
+    return len(config.candidates) * per_trial

@@ -1,0 +1,188 @@
+"""Monte Carlo tree search with dynamic task creation (Figure 2b, R3).
+
+"RL primitives such as Monte Carlo tree search may generate new tasks
+during execution based on the results or the durations of other tasks."
+
+The search explores action sequences of the synthetic game: an ``expand``
+task simulates every child of a node, inspects the returned values, and —
+*based on those results* — spawns further ``expand`` tasks only under the
+most promising children.  The task graph therefore cannot be declared
+upfront: it is literally a function of execution-time values, which is
+exactly the capability static dataflow systems (Section 5) lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.baselines.serial import SerialExecutor
+from repro.workloads.atari import NUM_ACTIONS, LinearPolicy, SyntheticAtariEnv
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Search shape and cost model."""
+
+    #: Actions considered per node (<= NUM_ACTIONS).
+    branching: int = 4
+    #: Tree depth of adaptive expansion.
+    depth: int = 3
+    #: How many children of each node get expanded further.
+    expand_width: int = 2
+    #: Modeled duration of one simulation task (the paper's ~7 ms scale).
+    simulation_duration: float = 0.007
+    #: Rollout horizon after the action prefix is applied.
+    horizon: int = 30
+    env_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.branching <= NUM_ACTIONS:
+            raise ValueError(f"branching must be in [1, {NUM_ACTIONS}]")
+        if self.expand_width > self.branching:
+            raise ValueError("expand_width cannot exceed branching")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+
+
+@dataclass
+class MCTSResult:
+    """Outcome of one search."""
+
+    best_sequence: tuple
+    best_value: float
+    simulations: int
+    elapsed: float
+    implementation: str
+    values_by_depth: dict = field(default_factory=dict)
+
+
+def simulate_sequence(
+    sequence: tuple, env_seed: int = 0, horizon: int = 30
+) -> float:
+    """One simulation task: apply an action prefix, then a greedy rollout."""
+    env = SyntheticAtariEnv(seed=env_seed, horizon=len(sequence) + horizon)
+    obs = env.reset()
+    total = 0.0
+    for action in sequence:
+        obs, reward, done = env.step(int(action))
+        total += reward
+        if done:
+            return total
+    # Greedy completion with a fixed probe policy (deterministic).
+    policy = LinearPolicy.random(seed=env_seed + 1, scale=0.5)
+    done = False
+    steps = 0
+    while not done and steps < horizon:
+        obs, reward, done = env.step(policy.act(obs))
+        total += reward
+        steps += 1
+    return total
+
+
+_simulate_task = repro.RemoteFunction(simulate_sequence, name="mcts_simulate")
+
+
+def _make_expand_task(config: MCTSConfig):
+    """Build the recursive expand task bound to one configuration."""
+    simulate = _simulate_task.options(duration=config.simulation_duration)
+
+    def expand(sequence, depth_remaining):
+        # Dynamic fan-out: children are simulated...
+        children = [tuple(sequence) + (a,) for a in range(config.branching)]
+        child_refs = [
+            simulate.remote(child, config.env_seed, config.horizon)
+            for child in children
+        ]
+        values = yield repro.Get(child_refs)
+        count = len(children)
+        best_seq, best_val = max(zip(children, values), key=lambda cv: cv[1])
+        if depth_remaining > 1:
+            # ...and only the promising ones spawn more work (the task
+            # graph depends on task *results*: requirement R3).
+            ranked = sorted(
+                zip(children, values), key=lambda cv: cv[1], reverse=True
+            )
+            promising = [child for child, _value in ranked[: config.expand_width]]
+            sub_refs = [
+                expand_task.remote(child, depth_remaining - 1)
+                for child in promising
+            ]
+            sub_results = yield repro.Get(sub_refs)
+            for sub in sub_results:
+                count += sub["simulations"]
+                if sub["best_value"] > best_val:
+                    best_seq, best_val = tuple(sub["best_sequence"]), sub["best_value"]
+        return {
+            "best_sequence": best_seq,
+            "best_value": best_val,
+            "simulations": count,
+        }
+
+    expand_task = repro.remote(expand)
+    return expand_task
+
+
+def run_mcts(config: MCTSConfig) -> MCTSResult:
+    """Run the search on the current runtime (sim or local backend)."""
+    expand_task = _make_expand_task(config)
+    start = repro.now()
+    result = repro.get(expand_task.remote((), config.depth))
+    elapsed = repro.now() - start
+    return MCTSResult(
+        best_sequence=tuple(result["best_sequence"]),
+        best_value=result["best_value"],
+        simulations=result["simulations"],
+        elapsed=elapsed,
+        implementation="ours",
+    )
+
+
+def run_mcts_serial(config: MCTSConfig) -> MCTSResult:
+    """Identical exploration, single-threaded (the bench baseline)."""
+    executor = SerialExecutor()
+
+    def expand(sequence: tuple, depth_remaining: int) -> dict:
+        children = [sequence + (a,) for a in range(config.branching)]
+        values = [
+            executor.run(
+                simulate_sequence, child, config.env_seed, config.horizon,
+                duration=config.simulation_duration,
+            )
+            for child in children
+        ]
+        count = len(children)
+        best_seq, best_val = max(zip(children, values), key=lambda cv: cv[1])
+        if depth_remaining > 1:
+            ranked = sorted(zip(children, values), key=lambda cv: cv[1], reverse=True)
+            for child, _value in ranked[: config.expand_width]:
+                sub = expand(child, depth_remaining - 1)
+                count += sub["simulations"]
+                if sub["best_value"] > best_val:
+                    best_seq, best_val = sub["best_sequence"], sub["best_value"]
+        return {
+            "best_sequence": best_seq,
+            "best_value": best_val,
+            "simulations": count,
+        }
+
+    result = expand((), config.depth)
+    return MCTSResult(
+        best_sequence=tuple(result["best_sequence"]),
+        best_value=result["best_value"],
+        simulations=result["simulations"],
+        elapsed=executor.elapsed(),
+        implementation="serial",
+    )
+
+
+def expected_simulations(config: MCTSConfig) -> int:
+    """Closed-form count of simulation tasks the search performs."""
+    total = 0
+    nodes_at_depth = 1
+    for _level in range(config.depth):
+        total += nodes_at_depth * config.branching
+        nodes_at_depth *= config.expand_width
+    return total

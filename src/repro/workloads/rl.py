@@ -1,0 +1,284 @@
+"""The Section 4.2 workload: RL training alternating simulations and fits.
+
+"The workload alternates between stages in which actions are taken in
+parallel simulations and actions are computed in parallel on GPUs."
+
+Four implementations of the *same* computation (same seeds, same
+sharding — serial, BSP, and ours produce bit-identical learned weights):
+
+* :func:`run_serial` — single-threaded reference.
+* :func:`run_bsp` — Spark-like BSP engine (driver-coordinated stages,
+  per-task overhead, barriers; fit charged as ideally parallelized, per
+  the paper's footnote 2).
+* :func:`run_ours` — the proposed system through the public API
+  (CPU rollout tasks + GPU fit tasks on the simulated cluster).
+* :func:`run_ours_pipelined` — the paper's sketched extension: use
+  ``wait`` to process simulations in completion order so fits overlap
+  with the straggling rollouts ("a few extra lines of code").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+import repro
+from repro.baselines.bsp import BSPConfig, BSPEngine
+from repro.baselines.serial import SerialExecutor
+from repro.workloads.atari import NUM_ACTIONS, OBS_DIM, es_update, evaluate_policy, rollout
+
+
+@dataclass(frozen=True)
+class RLConfig:
+    """Parameters of the training workload."""
+
+    iterations: int = 5
+    rollouts_per_iteration: int = 64
+    num_fit_shards: int = 8
+    #: The paper's ~7 ms simulation task.
+    rollout_duration: float = 0.007
+    #: Modeled GPU model-fitting time per shard.
+    fit_duration: float = 0.008
+    sigma: float = 0.05
+    learning_rate: float = 0.02
+    horizon: int = 50
+    env_seed: int = 0
+    base_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_fit_shards <= 0:
+            raise ValueError("num_fit_shards must be positive")
+        if self.rollouts_per_iteration < self.num_fit_shards:
+            raise ValueError("need at least one rollout per fit shard")
+
+    def rollout_seeds(self, iteration: int) -> list:
+        """Deterministic perturbation seeds for one iteration."""
+        base = self.base_seed + iteration * self.rollouts_per_iteration
+        return [base + i for i in range(self.rollouts_per_iteration)]
+
+    def shard(self, items: list) -> list:
+        """Split items into ``num_fit_shards`` contiguous chunks."""
+        chunk = -(-len(items) // self.num_fit_shards)
+        return [items[i : i + chunk] for i in range(0, len(items), chunk)]
+
+
+@dataclass
+class RLResult:
+    """Outcome of one training run."""
+
+    implementation: str
+    total_time: float
+    weights: np.ndarray
+    reward_history: list = field(default_factory=list)
+    tasks_executed: int = 0
+
+    def final_reward(self) -> float:
+        return self.reward_history[-1] if self.reward_history else float("nan")
+
+
+def _combine(shard_weights: list) -> np.ndarray:
+    return np.mean(np.stack(shard_weights), axis=0)
+
+
+# ----------------------------------------------------------------------
+# Serial (the "1x" reference)
+# ----------------------------------------------------------------------
+
+
+def run_serial(config: RLConfig) -> RLResult:
+    executor = SerialExecutor()
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    for iteration in range(config.iterations):
+        seeds = config.rollout_seeds(iteration)
+        results = [
+            executor.run(
+                rollout, weights, seed, config.sigma, config.env_seed,
+                config.horizon, duration=config.rollout_duration,
+            )
+            for seed in seeds
+        ]
+        shard_weights = [
+            executor.run(
+                es_update, weights, chunk, config.sigma, config.learning_rate,
+                duration=config.fit_duration,
+            )
+            for chunk in config.shard(results)
+        ]
+        weights = _combine(shard_weights)
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    return RLResult(
+        implementation="serial",
+        total_time=executor.elapsed(),
+        weights=weights,
+        reward_history=history,
+        tasks_executed=executor.tasks_executed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spark-like BSP
+# ----------------------------------------------------------------------
+
+
+def run_bsp(config: RLConfig, bsp_config: Optional[BSPConfig] = None) -> RLResult:
+    engine = BSPEngine(bsp_config)
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    for iteration in range(config.iterations):
+        seeds = config.rollout_seeds(iteration)
+        current = weights  # bind for the closure below
+        results = engine.run_stage(
+            lambda seed, w=current: rollout(
+                w, seed, config.sigma, config.env_seed, config.horizon
+            ),
+            seeds,
+            duration=config.rollout_duration,
+        )
+        # Footnote 2: fit charged as perfectly parallelized on Spark.
+        shard_weights = engine.run_ideal_parallel(
+            lambda chunk, w=current: es_update(
+                w, chunk, config.sigma, config.learning_rate
+            ),
+            config.shard(results),
+            duration=config.fit_duration,
+        )
+        weights = _combine(shard_weights)
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    return RLResult(
+        implementation="bsp",
+        total_time=engine.elapsed(),
+        weights=weights,
+        reward_history=history,
+        tasks_executed=engine.tasks_run,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ours (through the public API; works on either backend)
+# ----------------------------------------------------------------------
+
+_rollout_task = repro.RemoteFunction(rollout, name="rollout")
+
+
+def _fit_shard(weights, sigma, learning_rate, *results):
+    return es_update(weights, list(results), sigma, learning_rate)
+
+
+_fit_task = repro.RemoteFunction(_fit_shard, num_cpus=0, num_gpus=1, name="fit_shard")
+
+
+def run_ours(config: RLConfig) -> RLResult:
+    """Requires an initialized runtime (``repro.init``) with GPU nodes."""
+    runtime = repro.get_runtime()
+    rollout_fn = _rollout_task.options(duration=config.rollout_duration)
+    fit_fn = _fit_task.options(duration=config.fit_duration)
+
+    tasks_before = runtime.stats().get("tasks_executed", 0)
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    start = repro.now()
+    for iteration in range(config.iterations):
+        weights_ref = repro.put(weights)
+        rollout_refs = [
+            rollout_fn.remote(
+                weights_ref, seed, config.sigma, config.env_seed, config.horizon
+            )
+            for seed in config.rollout_seeds(iteration)
+        ]
+        shard_refs = [
+            fit_fn.remote(weights_ref, config.sigma, config.learning_rate, *chunk)
+            for chunk in config.shard(rollout_refs)
+        ]
+        weights = _combine(repro.get(shard_refs))
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    total_time = repro.now() - start
+    return RLResult(
+        implementation="ours",
+        total_time=total_time,
+        weights=weights,
+        reward_history=history,
+        tasks_executed=runtime.stats().get("tasks_executed", 0) - tasks_before,
+    )
+
+
+def run_ours_stage_barrier(config: RLConfig) -> RLResult:
+    """The workload ported BSP-style onto our API: the driver ``get``s
+    *all* simulation results before submitting any fit — so one straggling
+    rollout stalls every GPU.  This is the natural port of Spark code and
+    the baseline the paper's ``wait`` sketch improves on (E8)."""
+    runtime = repro.get_runtime()
+    rollout_fn = _rollout_task.options(duration=config.rollout_duration)
+    fit_fn = _fit_task.options(duration=config.fit_duration)
+
+    tasks_before = runtime.stats().get("tasks_executed", 0)
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    start = repro.now()
+    for iteration in range(config.iterations):
+        weights_ref = repro.put(weights)
+        rollout_refs = [
+            rollout_fn.remote(
+                weights_ref, seed, config.sigma, config.env_seed, config.horizon
+            )
+            for seed in config.rollout_seeds(iteration)
+        ]
+        results = repro.get(rollout_refs)  # the stage barrier
+        result_refs = [repro.put(r) for r in results]
+        shard_refs = [
+            fit_fn.remote(weights_ref, config.sigma, config.learning_rate, *chunk)
+            for chunk in config.shard(result_refs)
+        ]
+        weights = _combine(repro.get(shard_refs))
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    total_time = repro.now() - start
+    return RLResult(
+        implementation="ours-stage-barrier",
+        total_time=total_time,
+        weights=weights,
+        reward_history=history,
+        tasks_executed=runtime.stats().get("tasks_executed", 0) - tasks_before,
+    )
+
+
+def run_ours_pipelined(config: RLConfig) -> RLResult:
+    """The paper's ``wait`` sketch: fit each shard as soon as enough
+    simulations finish, instead of barriering on the whole stage."""
+    runtime = repro.get_runtime()
+    rollout_fn = _rollout_task.options(duration=config.rollout_duration)
+    fit_fn = _fit_task.options(duration=config.fit_duration)
+    shard_size = -(-config.rollouts_per_iteration // config.num_fit_shards)
+
+    tasks_before = runtime.stats().get("tasks_executed", 0)
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    start = repro.now()
+    for iteration in range(config.iterations):
+        weights_ref = repro.put(weights)
+        pending = [
+            rollout_fn.remote(
+                weights_ref, seed, config.sigma, config.env_seed, config.horizon
+            )
+            for seed in config.rollout_seeds(iteration)
+        ]
+        shard_refs = []
+        while pending:
+            take = min(shard_size, len(pending))
+            ready, pending = repro.wait(pending, num_returns=take)
+            shard_refs.append(
+                fit_fn.remote(
+                    weights_ref, config.sigma, config.learning_rate, *ready
+                )
+            )
+        weights = _combine(repro.get(shard_refs))
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    total_time = repro.now() - start
+    return RLResult(
+        implementation="ours-pipelined",
+        total_time=total_time,
+        weights=weights,
+        reward_history=history,
+        tasks_executed=runtime.stats().get("tasks_executed", 0) - tasks_before,
+    )

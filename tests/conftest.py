@@ -1,0 +1,23 @@
+"""Shared fixtures: every test gets a clean global runtime slate."""
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    """Ensure no runtime leaks between tests."""
+    if repro.is_initialized():
+        repro.shutdown()
+    yield
+    if repro.is_initialized():
+        repro.shutdown()
+
+
+@pytest.fixture
+def sim_runtime():
+    """A small simulated cluster: 4 nodes x 4 CPUs, 1 GPU each."""
+    runtime = repro.init(backend="sim", num_nodes=4, num_cpus=4, num_gpus=1)
+    yield runtime
+    repro.shutdown()

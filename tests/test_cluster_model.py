@@ -1,0 +1,110 @@
+"""Unit tests for node specs, the network model, and the cost model."""
+
+import pytest
+
+from repro.cluster.costs import SystemCosts
+from repro.cluster.network import NetworkModel
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.utils.ids import IDGenerator
+
+
+class TestSpecs:
+    def test_node_defaults(self):
+        node = NodeSpec()
+        assert node.num_cpus > 0
+        assert node.num_gpus == 0
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(num_cpus=0)
+        with pytest.raises(ValueError):
+            NodeSpec(num_gpus=-1)
+        with pytest.raises(ValueError):
+            NodeSpec(object_store_capacity=0)
+
+    def test_cluster_uniform(self):
+        cluster = ClusterSpec.uniform(num_nodes=3, num_cpus=8, num_gpus=2)
+        assert cluster.num_nodes == 3
+        assert cluster.total_cpus == 24
+        assert cluster.total_gpus == 6
+        assert cluster.max_cpus_per_node() == 8
+
+    def test_cluster_heterogeneous(self):
+        cluster = ClusterSpec(nodes=(NodeSpec(num_cpus=2), NodeSpec(num_cpus=16, num_gpus=4)))
+        assert cluster.max_cpus_per_node() == 16
+        assert cluster.max_gpus_per_node() == 4
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=())
+        with pytest.raises(ValueError):
+            ClusterSpec.uniform(num_nodes=0)
+        with pytest.raises(TypeError):
+            ClusterSpec(nodes=("not-a-node",))
+
+
+class TestNetwork:
+    def setup_method(self):
+        gen = IDGenerator()
+        self.a = gen.node_id()
+        self.b = gen.node_id()
+        self.net = NetworkModel(
+            inter_node_latency=100e-6,
+            intra_node_latency=2e-6,
+            bandwidth=1e9,
+            intra_node_bandwidth=10e9,
+        )
+
+    def test_intra_vs_inter_latency(self):
+        assert self.net.latency(self.a, self.a) == 2e-6
+        assert self.net.latency(self.a, self.b) == 100e-6
+
+    def test_transfer_time_includes_bandwidth(self):
+        t = self.net.transfer_time(self.a, self.b, 1_000_000)
+        assert t == pytest.approx(100e-6 + 1e-3)
+
+    def test_local_transfer_uses_memory_bandwidth(self):
+        t = self.net.transfer_time(self.a, self.a, 1_000_000)
+        assert t == pytest.approx(2e-6 + 1e-4)
+
+    def test_zero_bytes_is_latency_only(self):
+        assert self.net.transfer_time(self.a, self.b, 0) == 100e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(inter_node_latency=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            self.net.transfer_time(self.a, self.b, -1)
+
+
+class TestCosts:
+    def test_defaults_positive(self):
+        costs = SystemCosts()
+        assert costs.submit_overhead > 0
+        assert costs.heartbeat_timeout > costs.heartbeat_interval
+
+    def test_serialization_time_linear(self):
+        costs = SystemCosts(serialization_bandwidth=1e9)
+        assert costs.serialization_time(1_000_000) == pytest.approx(1e-3)
+        assert costs.serialization_time(0) == 0.0
+        with pytest.raises(ValueError):
+            costs.serialization_time(-1)
+
+    def test_scaled(self):
+        costs = SystemCosts()
+        doubled = costs.scaled(2.0)
+        assert doubled.submit_overhead == pytest.approx(2 * costs.submit_overhead)
+        assert doubled.get_overhead == pytest.approx(2 * costs.get_overhead)
+        # Non-overhead fields unchanged:
+        assert doubled.heartbeat_interval == costs.heartbeat_interval
+        with pytest.raises(ValueError):
+            costs.scaled(-1)
+
+    def test_e1_calibration_defaults(self):
+        """The defaults must stay calibrated to the paper's Section 4.1
+        numbers; the microbenchmark asserts the end-to-end sums."""
+        costs = SystemCosts()
+        assert costs.submit_overhead == pytest.approx(35e-6)
+        assert costs.get_overhead == pytest.approx(110e-6)

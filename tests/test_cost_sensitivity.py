@@ -1,0 +1,60 @@
+"""Sensitivity of end-to-end latencies to the calibrated cost model.
+
+The E1 calibration (DESIGN.md §4) is only trustworthy if latencies respond
+proportionally to the underlying cost knobs — i.e. the pipeline is the sum
+of the modeled parts, with no hidden constant dominating.
+"""
+
+import pytest
+
+import repro
+from repro.cluster.costs import SystemCosts
+
+
+@repro.remote
+def empty():
+    return None
+
+
+def _e2e_local(costs):
+    runtime = repro.init(backend="sim", num_nodes=2, num_cpus=2, costs=costs)
+    local = empty.options(placement_hint=runtime.head_node_id)
+    repro.get(local.remote())  # warm-up
+    t0 = repro.now()
+    repro.get(local.remote())
+    elapsed = repro.now() - t0
+    repro.shutdown()
+    return elapsed
+
+
+def test_latency_scales_with_overheads():
+    base = _e2e_local(SystemCosts())
+    doubled = _e2e_local(SystemCosts().scaled(2.0))
+    halved = _e2e_local(SystemCosts().scaled(0.5))
+    # Overheads dominate an empty task; network hops (unscaled) leave a
+    # small residual, so scaling is near-proportional but not exact.
+    assert 1.8 <= doubled / base <= 2.1
+    assert 0.45 <= halved / base <= 0.6
+
+
+def test_zero_overheads_leave_only_network():
+    runtime_free = _e2e_local(SystemCosts().scaled(0.0))
+    # Everything left comes from IPC hops and GCS ops, all tiny.
+    assert runtime_free < 50e-6
+
+
+def test_compute_time_unaffected_by_overhead_scaling():
+    @repro.remote(duration=0.1)
+    def timed():
+        return None
+
+    for factor in (0.5, 2.0):
+        repro.init(
+            backend="sim", num_nodes=1, num_cpus=1,
+            costs=SystemCosts().scaled(factor),
+        )
+        t0 = repro.now()
+        repro.get(timed.remote())
+        elapsed = repro.now() - t0
+        repro.shutdown()
+        assert elapsed == pytest.approx(0.1, rel=0.05)

@@ -1,0 +1,140 @@
+"""Tests for the effect types and generator-task-body error paths."""
+
+import pytest
+
+import repro
+from repro.core.effects import Compute, Get, Put, Wait
+from repro.errors import TaskError
+
+
+class TestEffectValidation:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-0.1)
+        assert Compute(0.0).duration == 0.0
+
+    def test_wait_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Wait([], num_returns=-1)
+        with pytest.raises(ValueError):
+            Wait([], timeout=-1.0)
+
+    def test_effects_are_frozen(self):
+        effect = Compute(1.0)
+        with pytest.raises(AttributeError):
+            effect.duration = 2.0
+
+
+@repro.remote
+def producer(x):
+    return x * 10
+
+
+@repro.remote
+def failing():
+    raise KeyError("inner")
+
+
+class TestGeneratorBodies:
+    def test_unsupported_yield_becomes_task_error(self, sim_runtime):
+        @repro.remote
+        def bad_body():
+            yield "not an effect"
+
+        with pytest.raises(TaskError, match="unsupported effect"):
+            repro.get(bad_body.remote())
+
+    def test_get_effect_raises_upstream_error_inside_body(self, sim_runtime):
+        @repro.remote
+        def consumer():
+            ref = failing.remote()
+            try:
+                yield repro.Get(ref)
+            except TaskError:
+                return "handled"
+            return "not handled"
+
+        assert repro.get(consumer.remote()) == "handled"
+
+    def test_unhandled_upstream_error_propagates(self, sim_runtime):
+        @repro.remote
+        def consumer():
+            value = yield repro.Get(failing.remote())
+            return value
+
+        with pytest.raises(TaskError, match="inner"):
+            repro.get(consumer.remote())
+
+    def test_exception_in_body_becomes_task_error(self, sim_runtime):
+        @repro.remote
+        def explodes():
+            yield repro.Compute(0.001)
+            raise RuntimeError("mid-body")
+
+        with pytest.raises(TaskError, match="mid-body"):
+            repro.get(explodes.remote())
+
+    def test_put_effect_roundtrip(self, sim_runtime):
+        @repro.remote
+        def stores():
+            ref = yield repro.Put({"k": 1})
+            value = yield repro.Get(ref)
+            return value
+
+        assert repro.get(stores.remote()) == {"k": 1}
+
+    def test_compute_effect_advances_virtual_time(self, sim_runtime):
+        @repro.remote
+        def sleeper():
+            yield repro.Compute(0.75)
+            return repro.now()
+
+        start = repro.now()
+        end_inside = repro.get(sleeper.remote())
+        assert end_inside - start >= 0.75
+
+    def test_wait_effect_timeout_inside_body(self, sim_runtime):
+        slow = producer.options(duration=10.0)
+
+        @repro.remote
+        def waits():
+            refs = [slow.remote(1)]
+            ready, pending = yield repro.Wait(refs, num_returns=1, timeout=0.05)
+            return (len(ready), len(pending))
+
+        assert repro.get(waits.remote()) == (0, 1)
+
+    def test_get_single_vs_list_shapes(self, sim_runtime):
+        @repro.remote
+        def shapes():
+            single = yield repro.Get(producer.remote(1))
+            many = yield repro.Get([producer.remote(2), producer.remote(3)])
+            return single, many
+
+        single, many = repro.get(shapes.remote())
+        assert single == 10
+        assert many == [20, 30]
+
+    def test_generator_effects_on_local_backend(self):
+        repro.init(backend="local", num_nodes=1, num_cpus=2)
+
+        @repro.remote
+        def pipeline():
+            ref = producer.remote(4)
+            value = yield repro.Get(ref)
+            yield repro.Compute(0.01)
+            return value + 2
+
+        assert repro.get(pipeline.remote()) == 42
+        repro.shutdown()
+
+    def test_unsupported_yield_on_local_backend(self):
+        repro.init(backend="local", num_nodes=1, num_cpus=2)
+
+        @repro.remote
+        def bad_body():
+            yield 12345
+
+        with pytest.raises(TaskError, match="unsupported"):
+            repro.get(bad_body.remote())
+        repro.shutdown()

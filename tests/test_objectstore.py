@@ -1,0 +1,175 @@
+"""Unit tests for the per-node object store and transfer manager."""
+
+import pytest
+
+import repro
+from repro.errors import ObjectLostError
+from repro.objectstore.store import LocalObjectStore, ObjectStoreFullError
+from repro.utils.ids import IDGenerator
+
+
+@pytest.fixture
+def store():
+    gen = IDGenerator()
+    return LocalObjectStore(gen.node_id(), capacity=1000), gen
+
+
+class TestLocalObjectStore:
+    def test_put_get_roundtrip(self, store):
+        s, gen = store
+        oid = gen.object_id()
+        s.put(oid, b"hello")
+        assert s.get(oid) == b"hello"
+        assert s.contains(oid)
+        assert s.used_bytes == 5
+
+    def test_get_missing_returns_none(self, store):
+        s, gen = store
+        assert s.get(gen.object_id()) is None
+        assert s.misses == 1
+
+    def test_size_accounting(self, store):
+        s, gen = store
+        a, b = gen.object_id(), gen.object_id()
+        s.put(a, b"x" * 100)
+        s.put(b, b"y" * 200)
+        assert s.used_bytes == 300
+        assert s.free_bytes == 700
+        s.delete(a)
+        assert s.used_bytes == 200
+
+    def test_put_idempotent(self, store):
+        s, gen = store
+        oid = gen.object_id()
+        s.put(oid, b"data")
+        s.put(oid, b"data")
+        assert s.used_bytes == 4
+
+    def test_lru_eviction_order(self, store):
+        s, gen = store
+        ids = [gen.object_id() for _ in range(3)]
+        for oid in ids:
+            s.put(oid, b"z" * 400)  # third put must evict the first
+        assert not s.contains(ids[0])
+        assert s.contains(ids[1]) and s.contains(ids[2])
+        assert s.evictions == 1
+
+    def test_get_refreshes_lru(self, store):
+        s, gen = store
+        ids = [gen.object_id() for _ in range(3)]
+        s.put(ids[0], b"a" * 400)
+        s.put(ids[1], b"b" * 400)
+        s.get(ids[0])                  # touch: now ids[1] is LRU
+        s.put(ids[2], b"c" * 400)
+        assert s.contains(ids[0])
+        assert not s.contains(ids[1])
+
+    def test_pinned_objects_survive_eviction(self, store):
+        s, gen = store
+        pinned = gen.object_id()
+        s.put(pinned, b"p" * 400)
+        s.pin(pinned)
+        for _ in range(4):
+            s.put(gen.object_id(), b"f" * 400)
+        assert s.contains(pinned)
+        s.unpin(pinned)
+        assert not s.is_pinned(pinned)
+
+    def test_pin_counts_nest(self, store):
+        s, gen = store
+        oid = gen.object_id()
+        s.put(oid, b"x")
+        s.pin(oid)
+        s.pin(oid)
+        s.unpin(oid)
+        assert s.is_pinned(oid)
+        s.unpin(oid)
+        assert not s.is_pinned(oid)
+
+    def test_oversized_object_rejected(self, store):
+        s, gen = store
+        with pytest.raises(ObjectStoreFullError, match="exceeds store capacity"):
+            s.put(gen.object_id(), b"x" * 2000)
+
+    def test_all_pinned_store_full(self, store):
+        s, gen = store
+        ids = [gen.object_id() for _ in range(2)]
+        for oid in ids:
+            s.put(oid, b"x" * 500)
+            s.pin(oid)
+        with pytest.raises(ObjectStoreFullError, match="pinned"):
+            s.put(gen.object_id(), b"y" * 100)
+
+    def test_capacity_validation(self, store):
+        _s, gen = store
+        with pytest.raises(ValueError):
+            LocalObjectStore(gen.node_id(), capacity=0)
+
+    def test_clear(self, store):
+        s, gen = store
+        s.put(gen.object_id(), b"x" * 10)
+        s.clear()
+        assert s.num_objects == 0
+        assert s.used_bytes == 0
+
+
+class TestTransferIntegration:
+    """Transfer manager exercised through a real simulated runtime."""
+
+    def test_remote_argument_is_transferred(self):
+        runtime = repro.init(backend="sim", num_nodes=2, num_cpus=2)
+
+        @repro.remote
+        def produce():
+            return list(range(1000))
+
+        @repro.remote
+        def consume(data):
+            return len(data)
+
+        other = runtime.node_ids[1]
+        head = runtime.head_node_id
+        data_ref = produce.options(placement_hint=other).remote()
+        result = consume.options(placement_hint=head).remote(data_ref)
+        assert repro.get(result) == 1000
+        transfers = runtime.stats()["transfers"]
+        assert transfers >= 1
+        repro.shutdown()
+
+    def test_transfer_dedup_single_flight(self):
+        runtime = repro.init(backend="sim", num_nodes=2, num_cpus=4)
+
+        @repro.remote
+        def produce():
+            return b"payload" * 10000
+
+        @repro.remote
+        def consume(data, tag):
+            return tag
+
+        other = runtime.node_ids[1]
+        head = runtime.head_node_id
+        data_ref = produce.options(placement_hint=other).remote()
+        repro.wait([data_ref], num_returns=1)
+        # Several head-pinned consumers of the same remote object at once:
+        refs = [
+            consume.options(placement_hint=head).remote(data_ref, i)
+            for i in range(4)
+        ]
+        assert sorted(repro.get(refs)) == [0, 1, 2, 3]
+        head_transfer = runtime.transfer(head)
+        # Deduplication: one physical transfer despite 4 concurrent needs.
+        assert head_transfer.transfers_completed == 1
+        repro.shutdown()
+
+    def test_object_lost_when_never_produced_and_no_lineage(self):
+        runtime = repro.init(
+            backend="sim", num_nodes=1, num_cpus=2, enable_reconstruction=False
+        )
+        gen = IDGenerator(namespace="other")
+        bogus = gen.object_id()
+        transfer = runtime.transfer(runtime.head_node_id)
+        process = runtime.sim.spawn(transfer.ensure_local(bogus))
+        with pytest.raises(ObjectLostError):
+            runtime.sim.run_until_signal(process.done_signal)
+        repro.shutdown()

@@ -1,0 +1,76 @@
+"""Tests for the consolidated run report and multi-global-scheduler runs."""
+
+import pytest
+
+import repro
+from repro.tools import run_report
+
+
+@repro.remote(duration=0.02)
+def crunch(i):
+    return i
+
+
+@repro.remote
+def explode():
+    raise ValueError("bad batch")
+
+
+class TestRunReport:
+    def test_report_sections_present(self, sim_runtime):
+        repro.get([crunch.remote(i) for i in range(8)])
+        report = run_report(sim_runtime)
+        for section in ("cluster state", "task profile", "utilization", "failures"):
+            assert section in report
+        assert "crunch" in report
+        assert "none" in report  # no failures
+
+    def test_report_includes_failures(self, sim_runtime):
+        refs = [crunch.options(duration=0.5).remote(i) for i in range(8)]
+        sim_runtime.kill_node_at(sim_runtime.node_ids[1], at_time=0.1)
+        repro.get(refs)
+        report = run_report(sim_runtime)
+        assert "declared dead" in report
+        assert "re-placed" in report
+
+    def test_report_with_gantt(self, sim_runtime):
+        repro.get([crunch.remote(i) for i in range(4)])
+        report = run_report(sim_runtime, include_gantt=True)
+        assert "== gantt ==" in report
+        assert "|" in report
+
+    def test_report_on_idle_cluster(self, sim_runtime):
+        report = run_report(sim_runtime)
+        assert "no task executions recorded" in report
+
+
+class TestMultipleGlobalSchedulers:
+    """The paper: 'one or more global schedulers throughout the cluster'."""
+
+    def test_spill_spread_across_schedulers(self):
+        runtime = repro.init(
+            backend="sim", num_nodes=4, num_cpus=2,
+            num_global_schedulers=3, scheduler_mode="centralized",
+        )
+        refs = [crunch.remote(i) for i in range(60)]
+        assert repro.get(refs) == list(range(60))
+        placed = [gs.tasks_placed for gs in runtime.global_schedulers]
+        assert sum(placed) == 60
+        # Hash-spread: every scheduler handled a share.
+        assert all(count > 0 for count in placed)
+        repro.shutdown()
+
+    def test_zero_global_schedulers_is_local_only(self):
+        runtime = repro.init(
+            backend="sim", num_nodes=2, num_cpus=2,
+            num_global_schedulers=0, scheduler_mode="hybrid",
+        )
+        # With no GS, has_global_scheduler gates spilling off entirely.
+        refs = [crunch.remote(i) for i in range(10)]
+        assert repro.get(refs) == list(range(10))
+        assert runtime.stats()["tasks_spilled"] == 0
+        repro.shutdown()
+
+    def test_negative_global_schedulers_rejected(self):
+        with pytest.raises(ValueError):
+            repro.init(backend="sim", num_global_schedulers=-1)

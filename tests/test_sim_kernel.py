@@ -1,0 +1,342 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Delay, ProcessKilled, Resource, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_after_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_after(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_after(2.0, lambda: order.append("b"))
+    sim.call_after(1.0, lambda: order.append("a"))
+    sim.call_after(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_at(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10.0, lambda: seen.append("late"))
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_process_delay_sequencing():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield Delay(1.5)
+        trace.append(("mid", sim.now))
+        yield Delay(2.5)
+        trace.append(("end", sim.now))
+        return "done"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.5), ("end", 4.0)]
+    assert process.done_signal.fired
+    assert process.done_signal.value == "done"
+
+
+def test_process_waits_on_signal_value():
+    sim = Simulator()
+    sig = sim.signal("data")
+    results = []
+
+    def consumer():
+        value = yield sig
+        results.append((value, sim.now))
+
+    sim.spawn(consumer())
+    sim.call_after(3.0, lambda: sig.fire(42))
+    sim.run()
+    assert results == [(42, 3.0)]
+
+
+def test_waiting_on_already_fired_signal_resumes():
+    sim = Simulator()
+    sig = sim.signal()
+    sig.fire("early")
+    results = []
+
+    def consumer():
+        value = yield sig
+        results.append(value)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert results == ["early"]
+
+
+def test_signal_cannot_fire_twice():
+    sim = Simulator()
+    sig = sim.signal()
+    sig.fire(1)
+    with pytest.raises(RuntimeError):
+        sig.fire(2)
+
+
+def test_signal_failure_raises_in_process():
+    sim = Simulator()
+    sig = sim.signal()
+    caught = []
+
+    def consumer():
+        try:
+            yield sig
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(consumer())
+    sim.call_after(1.0, lambda: sig.fail(ValueError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_exception_propagates_to_done_signal():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1.0)
+        raise RuntimeError("task failed")
+
+    process = sim.spawn(bad())
+    sim.run()
+    assert process.done_signal.fired
+    assert isinstance(process.done_signal.exception, RuntimeError)
+
+
+def test_process_waits_on_subprocess_return_value():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Delay(2.0)
+        return "child-result"
+
+    def parent():
+        value = yield sim.spawn(child())
+        results.append((value, sim.now))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [("child-result", 2.0)]
+
+
+def test_anyof_resumes_on_first_signal():
+    sim = Simulator()
+    fast = sim.signal("fast")
+    slow = sim.signal("slow")
+    results = []
+
+    def waiter():
+        fired = yield AnyOf([fast, slow])
+        results.append(([s.name for s in fired], sim.now))
+
+    sim.spawn(waiter())
+    sim.call_after(1.0, lambda: fast.fire("f"))
+    sim.call_after(5.0, lambda: slow.fire("s"))
+    sim.run()
+    assert results == [(["fast"], 1.0)]
+
+
+def test_allof_waits_for_every_signal():
+    sim = Simulator()
+    sigs = [sim.signal(str(i)) for i in range(3)]
+    results = []
+
+    def waiter():
+        values = yield AllOf(sigs)
+        results.append((values, sim.now))
+
+    sim.spawn(waiter())
+    for i, sig in enumerate(sigs):
+        sim.call_after(float(i + 1), lambda s=sig, v=i: s.fire(v))
+    sim.run()
+    assert results == [([0, 1, 2], 3.0)]
+
+
+def test_anyof_empty_resumes_immediately():
+    sim = Simulator()
+    results = []
+
+    def waiter():
+        fired = yield AnyOf([])
+        results.append(fired)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == [[]]
+
+
+def test_kill_runs_finally_blocks():
+    sim = Simulator()
+    cleanup = []
+
+    def proc():
+        try:
+            yield Delay(100.0)
+        finally:
+            cleanup.append(sim.now)
+
+    process = sim.spawn(proc())
+    sim.call_after(2.0, process.kill)
+    sim.run()
+    assert cleanup == [2.0]
+    assert not process.alive
+    assert isinstance(process.done_signal.exception, ProcessKilled)
+
+
+def test_killed_process_does_not_resume():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        yield Delay(1.0)
+        trace.append("resumed")
+
+    process = sim.spawn(proc())
+    sim.call_at(0.5, process.kill)
+    sim.run()
+    assert trace == []
+
+
+def test_run_until_signal_returns_value():
+    sim = Simulator()
+    sig = sim.signal()
+    sim.call_after(4.0, lambda: sig.fire("ready"))
+    assert sim.run_until_signal(sig) == "ready"
+    assert sim.now == 4.0
+
+
+def test_run_until_signal_detects_deadlock():
+    sim = Simulator()
+    sig = sim.signal()
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run_until_signal(sig)
+
+
+def test_timeout_signal_fires():
+    sim = Simulator()
+    sig = sim.timeout_signal(2.5, value="timed-out")
+    assert sim.run_until_signal(sig) == "timed-out"
+    assert sim.now == 2.5
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1, name="cpu")
+    spans = []
+
+    def job(tag):
+        start_request = sim.now
+        yield from resource.use(2.0)
+        spans.append((tag, start_request, sim.now))
+
+    sim.spawn(job("a"))
+    sim.spawn(job("b"))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 0.0, 4.0)]
+
+
+def test_resource_parallelism_matches_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2, name="cpu")
+    finish = []
+
+    def job():
+        yield from resource.use(3.0)
+        finish.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(job())
+    sim.run()
+    assert finish == [3.0, 3.0, 6.0, 6.0]
+
+
+def test_resource_release_without_hold_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_resource_rejects_nonpositive_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def looper():
+        while True:
+            yield Delay(0.001)
+
+    sim.spawn(looper())
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_deterministic_event_counts():
+    def build_and_run():
+        sim = Simulator()
+        done = []
+
+        def worker(i):
+            yield Delay(0.1 * (i % 3))
+            done.append(i)
+
+        for i in range(20):
+            sim.spawn(worker(i))
+        sim.run()
+        return done, sim.events_processed
+
+    first = build_and_run()
+    second = build_and_run()
+    assert first == second

@@ -1,0 +1,90 @@
+"""Tests for utilization profiles and the ASCII Gantt renderer."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.store.event_log import EventLog
+from repro.tools.utilization import render_gantt, utilization
+
+
+@repro.remote(duration=0.05)
+def busy(i):
+    return i
+
+
+@pytest.fixture
+def loaded(sim_runtime):
+    repro.get([busy.remote(i) for i in range(16)])
+    return sim_runtime
+
+
+def test_empty_log():
+    profile = utilization(EventLog(), num_bins=10)
+    assert profile.per_node == {}
+    assert profile.num_bins == 10
+    assert render_gantt(EventLog()) == "(no task executions recorded)"
+
+
+def test_num_bins_validation(loaded):
+    with pytest.raises(ValueError):
+        utilization(loaded.event_log, num_bins=0)
+
+
+def test_busy_time_conserved(loaded):
+    """Summed busy-time across all bins equals summed task durations."""
+    profile = utilization(loaded.event_log, num_bins=40)
+    width = profile.bin_edges[1] - profile.bin_edges[0]
+    total_busy = sum(float(np.sum(s)) * width for s in profile.per_node.values())
+    from repro.tools.timeline import task_spans
+
+    total_span = sum(s.duration for s in task_spans(loaded.event_log))
+    assert total_busy == pytest.approx(total_span, rel=1e-6)
+
+
+def test_utilization_bounded_by_workers(loaded):
+    profile = utilization(loaded.event_log, num_bins=40)
+    for node_id in loaded.node_ids:
+        series = profile.per_node.get(str(node_id))
+        if series is None:
+            continue
+        num_workers = len(loaded.local_scheduler(node_id).workers)
+        assert np.all(series <= num_workers + 1e-9)
+
+
+def test_cluster_series_shape(loaded):
+    profile = utilization(loaded.event_log, num_bins=25)
+    series = profile.cluster_series()
+    assert series.shape == (25,)
+    assert series.max() > 0
+
+
+def test_parallel_phase_visible(loaded):
+    """16 concurrent 50ms tasks on 16+ slots: peak cluster busy ~16."""
+    profile = utilization(loaded.event_log, num_bins=20)
+    assert profile.cluster_series().max() >= 8
+
+
+def test_gantt_renders_rows_and_legend(loaded):
+    chart = render_gantt(loaded.event_log, width=60)
+    assert "busy" in chart            # legend entry
+    assert "|" in chart
+    assert chart.count("\n") >= 3
+
+
+def test_gantt_marks_failures(sim_runtime):
+    @repro.remote
+    def explode():
+        raise RuntimeError("x")
+
+    ref = explode.remote()
+    with pytest.raises(repro.TaskError):
+        repro.get(ref)
+    chart = render_gantt(sim_runtime.event_log)
+    # Failed tasks render as the uppercase glyph.
+    assert "A" in chart
+
+
+def test_gantt_row_cap(loaded):
+    chart = render_gantt(loaded.event_log, max_rows=2)
+    assert "more workers" in chart

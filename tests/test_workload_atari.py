@@ -1,0 +1,139 @@
+"""Unit tests for the synthetic Atari environment and ES machinery."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.atari import (
+    NUM_ACTIONS,
+    OBS_DIM,
+    LinearPolicy,
+    SyntheticAtariEnv,
+    es_update,
+    evaluate_policy,
+    perturbation,
+    rollout,
+)
+
+
+def test_env_reset_is_deterministic():
+    env = SyntheticAtariEnv(seed=3)
+    first = env.reset()
+    env.step(1)
+    second = env.reset()
+    assert np.allclose(first, second)
+
+
+def test_env_same_seed_same_trajectory():
+    def play(seed):
+        env = SyntheticAtariEnv(seed=seed, horizon=20)
+        obs = env.reset()
+        trace = []
+        done = False
+        while not done:
+            obs, reward, done = env.step(int(np.argmax(obs[:NUM_ACTIONS])))
+            trace.append(reward)
+        return trace
+
+    assert play(5) == play(5)
+    assert play(5) != play(6)
+
+
+def test_env_horizon_respected():
+    env = SyntheticAtariEnv(seed=0, horizon=7)
+    env.reset()
+    steps = 0
+    done = False
+    while not done:
+        _obs, _reward, done = env.step(0)
+        steps += 1
+    assert steps == 7
+
+
+def test_env_rejects_invalid_action():
+    env = SyntheticAtariEnv(seed=0)
+    env.reset()
+    with pytest.raises(ValueError):
+        env.step(NUM_ACTIONS)
+
+
+def test_reward_is_nonpositive_and_zero_for_oracle():
+    # Reward is alignment minus best alignment: 0 iff the oracle action.
+    env = SyntheticAtariEnv(seed=2, horizon=10)
+    env.reset()
+    _obs, reward, _done = env.step(env.best_action())
+    assert reward == pytest.approx(0.0)
+    env.reset()
+    worst = int(np.argmin(env._reward_dirs @ env.observation()))
+    _obs, reward, _done = env.step(worst)
+    assert reward < 0
+
+
+def test_oracle_beats_constant_policy():
+    env = SyntheticAtariEnv(seed=1, horizon=50)
+    env.reset()
+    oracle_total = 0.0
+    done = False
+    while not done:
+        _obs, reward, done = env.step(env.best_action())
+        oracle_total += reward
+    env.reset()
+    constant_total = 0.0
+    done = False
+    while not done:
+        _obs, reward, done = env.step(0)
+        constant_total += reward
+    assert oracle_total > constant_total
+
+
+def test_perturbation_deterministic_by_seed():
+    assert np.allclose(perturbation(42, 0.1), perturbation(42, 0.1))
+    assert not np.allclose(perturbation(42, 0.1), perturbation(43, 0.1))
+
+
+def test_rollout_returns_seed_and_reward():
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    result = rollout(weights, perturbation_seed=9, horizon=10)
+    assert result["seed"] == 9
+    assert isinstance(result["reward"], float)
+    assert result["steps"] == 10
+
+
+def test_rollout_deterministic():
+    weights = LinearPolicy.random(seed=1).weights
+    a = rollout(weights, perturbation_seed=5, horizon=15)
+    b = rollout(weights, perturbation_seed=5, horizon=15)
+    assert a == b
+
+
+def test_es_update_moves_weights():
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    results = [rollout(weights, perturbation_seed=s, horizon=10) for s in range(8)]
+    updated = es_update(weights, results)
+    assert updated.shape == weights.shape
+    assert not np.allclose(updated, weights)
+
+
+def test_es_update_empty_results_is_identity():
+    weights = LinearPolicy.random(seed=0).weights
+    assert np.allclose(es_update(weights, []), weights)
+
+
+def test_es_update_uniform_rewards_is_identity():
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    results = [{"seed": s, "reward": 1.0} for s in range(4)]
+    assert np.allclose(es_update(weights, results), weights)
+
+
+def test_es_training_improves_policy():
+    # A few ES iterations should beat the zero-weight policy.
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    base = evaluate_policy(weights, env_seed=0, horizon=40)
+    for iteration in range(10):
+        seeds = [1000 + iteration * 32 + i for i in range(32)]
+        results = [
+            rollout(weights, perturbation_seed=s, env_seed=0, horizon=40)
+            for s in seeds
+        ]
+        weights = es_update(weights, results, learning_rate=0.05)
+    trained = evaluate_policy(weights, env_seed=0, horizon=40)
+    assert trained > base

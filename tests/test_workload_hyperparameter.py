@@ -1,0 +1,95 @@
+"""Tests for the adaptive hyperparameter search (nested tasks + wait)."""
+
+import pytest
+
+import repro
+from repro.workloads.hyperparameter import (
+    HPSearchConfig,
+    exhaustive_budget,
+    run_search,
+)
+
+SMALL = HPSearchConfig(
+    candidates=((0.01, 0.05), (0.05, 0.05), (0.1, 0.05), (0.3, 0.05)),
+    base_iterations=1,
+    num_rungs=2,
+    rollouts_per_iteration=8,
+    rollout_duration=0.002,
+    horizon=20,
+)
+
+
+@pytest.fixture
+def cluster():
+    runtime = repro.init(backend="sim", num_nodes=3, num_cpus=4, seed=4)
+    yield runtime
+    repro.shutdown()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HPSearchConfig(candidates=((0.1, 0.1),))
+    with pytest.raises(ValueError):
+        HPSearchConfig(num_rungs=0)
+    with pytest.raises(ValueError):
+        HPSearchConfig(base_iterations=0)
+
+
+def test_rung_schedule():
+    config = HPSearchConfig(num_rungs=3, base_iterations=2)
+    assert [config.rung_iterations(r) for r in range(3)] == [2, 4, 8]
+    assert [config.survivors_at(r) for r in range(3)] == [8, 4, 2]
+
+
+def test_search_finds_a_config(cluster):
+    result = run_search(SMALL)
+    assert (result.best.learning_rate, result.best.sigma) in [
+        (lr, s) for lr, s in SMALL.candidates
+    ]
+    # The winner is the best performer of the final rung.
+    assert result.best.reward == pytest.approx(
+        max(result.rung_history[-1]["rewards"]), abs=1e-3
+    )
+
+
+def test_successive_halving_shrinks_rungs(cluster):
+    result = run_search(SMALL)
+    sizes = [len(r["rewards"]) for r in result.rung_history]
+    assert sizes == [4, 2]
+    assert result.trials_run == 6
+
+
+def test_adaptive_budget_below_exhaustive(cluster):
+    result = run_search(SMALL)
+    assert result.total_task_iterations < exhaustive_budget(SMALL)
+
+
+def test_warm_start_improves_over_rungs(cluster):
+    result = run_search(SMALL)
+    first_best = max(result.rung_history[0]["rewards"])
+    final_best = max(result.rung_history[-1]["rewards"])
+    # More iterations with warm starts should not get materially worse.
+    assert final_best >= first_best - 1.0
+
+
+def test_nested_task_counts(cluster):
+    result = run_search(SMALL)
+    stats = cluster.stats()
+    # Each trial iteration spawns rollouts_per_iteration nested tasks.
+    expected_rollouts = result.total_task_iterations * SMALL.rollouts_per_iteration
+    assert stats["tasks_executed"] == result.trials_run + expected_rollouts
+
+
+def test_search_is_deterministic():
+    def run():
+        repro.init(backend="sim", num_nodes=3, num_cpus=4, seed=4)
+        result = run_search(SMALL)
+        repro.shutdown()
+        return (
+            result.best.learning_rate,
+            result.best.sigma,
+            result.best.reward,
+            result.elapsed,
+        )
+
+    assert run() == run()

@@ -1,0 +1,85 @@
+"""Tests for the MCTS workload (dynamic task graphs, R3)."""
+
+import pytest
+
+import repro
+from repro.workloads.mcts import (
+    MCTSConfig,
+    expected_simulations,
+    run_mcts,
+    run_mcts_serial,
+    simulate_sequence,
+)
+
+SMALL = MCTSConfig(branching=3, depth=2, expand_width=2,
+                   simulation_duration=0.005, horizon=10)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MCTSConfig(branching=0)
+    with pytest.raises(ValueError):
+        MCTSConfig(branching=2, expand_width=3)
+    with pytest.raises(ValueError):
+        MCTSConfig(depth=0)
+
+
+def test_simulate_sequence_deterministic():
+    a = simulate_sequence((0, 1), env_seed=3, horizon=10)
+    b = simulate_sequence((0, 1), env_seed=3, horizon=10)
+    assert a == b
+
+
+def test_simulate_prefix_changes_value():
+    values = {simulate_sequence((a,), env_seed=0, horizon=10) for a in range(4)}
+    assert len(values) > 1  # different actions genuinely differ
+
+
+def test_expected_simulations_closed_form():
+    # depth=2: root expands 3 children; 2 promising nodes expand 3 each.
+    assert expected_simulations(SMALL) == 3 + 2 * 3
+    deeper = MCTSConfig(branching=4, depth=3, expand_width=2)
+    assert expected_simulations(deeper) == 4 + 2 * 4 + 4 * 4
+
+
+def test_serial_search_counts_and_time():
+    result = run_mcts_serial(SMALL)
+    assert result.simulations == expected_simulations(SMALL)
+    assert result.elapsed == pytest.approx(
+        result.simulations * SMALL.simulation_duration
+    )
+    assert len(result.best_sequence) >= 1
+
+
+def test_distributed_search_matches_serial(sim_runtime):
+    serial = run_mcts_serial(SMALL)
+    ours = run_mcts(SMALL)
+    # Same exploration policy => same tree, same best leaf.
+    assert ours.simulations == serial.simulations
+    assert ours.best_value == pytest.approx(serial.best_value)
+    assert tuple(ours.best_sequence) == tuple(serial.best_sequence)
+
+
+def test_distributed_search_is_parallel(sim_runtime):
+    serial = run_mcts_serial(SMALL)
+    ours = run_mcts(SMALL)
+    assert ours.elapsed < serial.elapsed
+
+
+def test_best_value_is_max_over_tree(sim_runtime):
+    result = run_mcts(SMALL)
+    # The best value must at least match the best depth-1 child.
+    depth1_best = max(
+        simulate_sequence((a,), SMALL.env_seed, SMALL.horizon)
+        for a in range(SMALL.branching)
+    )
+    assert result.best_value >= depth1_best
+
+
+def test_deeper_search_finds_no_worse_value(sim_runtime):
+    shallow = run_mcts(MCTSConfig(branching=3, depth=1, horizon=10,
+                                  simulation_duration=0.001))
+    deep = run_mcts(MCTSConfig(branching=3, depth=3, expand_width=2,
+                               horizon=10, simulation_duration=0.001))
+    assert deep.best_value >= shallow.best_value
+    assert deep.simulations > shallow.simulations

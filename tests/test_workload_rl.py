@@ -1,0 +1,137 @@
+"""Tests of the Section 4.2 RL workload across all four implementations."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.bsp import BSPConfig
+from repro.workloads.rl import (
+    RLConfig,
+    run_bsp,
+    run_ours,
+    run_ours_pipelined,
+    run_serial,
+)
+
+SMALL = RLConfig(iterations=2, rollouts_per_iteration=16, num_fit_shards=4)
+
+
+@pytest.fixture
+def gpu_cluster():
+    runtime = repro.init(backend="sim", num_nodes=2, num_cpus=4, num_gpus=1)
+    yield runtime
+    repro.shutdown()
+
+
+def test_serial_time_is_closed_form():
+    result = run_serial(SMALL)
+    expected = SMALL.iterations * (
+        SMALL.rollouts_per_iteration * SMALL.rollout_duration
+        + SMALL.num_fit_shards * SMALL.fit_duration
+    )
+    assert result.total_time == pytest.approx(expected)
+    assert result.tasks_executed == SMALL.iterations * (
+        SMALL.rollouts_per_iteration + SMALL.num_fit_shards
+    )
+
+
+def test_bsp_slower_than_serial():
+    serial = run_serial(SMALL)
+    bsp = run_bsp(SMALL, BSPConfig(total_cores=8))
+    assert bsp.total_time > serial.total_time
+
+
+def test_bsp_and_serial_weights_identical():
+    serial = run_serial(SMALL)
+    bsp = run_bsp(SMALL)
+    assert np.allclose(serial.weights, bsp.weights)
+    assert serial.reward_history == pytest.approx(bsp.reward_history)
+
+
+def test_ours_matches_serial_weights(gpu_cluster):
+    serial = run_serial(SMALL)
+    ours = run_ours(SMALL)
+    assert np.allclose(serial.weights, ours.weights)
+
+
+def test_ours_faster_than_serial(gpu_cluster):
+    serial = run_serial(SMALL)
+    ours = run_ours(SMALL)
+    assert ours.total_time < serial.total_time
+
+
+def test_ours_task_count(gpu_cluster):
+    ours = run_ours(SMALL)
+    assert ours.tasks_executed == SMALL.iterations * (
+        SMALL.rollouts_per_iteration + SMALL.num_fit_shards
+    )
+
+
+def test_pipelined_variant_trains(gpu_cluster):
+    result = run_ours_pipelined(SMALL)
+    assert result.total_time > 0
+    assert len(result.reward_history) == SMALL.iterations
+    assert result.tasks_executed == SMALL.iterations * (
+        SMALL.rollouts_per_iteration + SMALL.num_fit_shards
+    )
+
+
+def test_pipelined_beats_barrier_under_stragglers():
+    """The paper's wait sketch: with heavy-tailed simulation durations,
+    processing rollouts in completion order beats the stage barrier."""
+
+    def straggly(rng, _args):
+        # 20% of rollouts take 5x longer.
+        return 0.007 * (5.0 if rng.random() < 0.2 else 1.0)
+
+    config = RLConfig(
+        iterations=2,
+        rollouts_per_iteration=32,
+        num_fit_shards=4,
+        rollout_duration=straggly,
+    )
+    repro.init(backend="sim", num_nodes=2, num_cpus=8, num_gpus=2, seed=11)
+    barrier = run_ours(config)
+    repro.shutdown()
+    repro.init(backend="sim", num_nodes=2, num_cpus=8, num_gpus=2, seed=11)
+    pipelined = run_ours_pipelined(config)
+    repro.shutdown()
+    assert pipelined.total_time < barrier.total_time
+
+
+def test_reward_history_length_everywhere(gpu_cluster):
+    for result in (run_serial(SMALL), run_bsp(SMALL), run_ours(SMALL)):
+        assert len(result.reward_history) == SMALL.iterations
+
+
+def test_rl_config_validation():
+    with pytest.raises(ValueError):
+        RLConfig(rollouts_per_iteration=2, num_fit_shards=4)
+    with pytest.raises(ValueError):
+        RLConfig(num_fit_shards=0)
+
+
+def test_shard_partition_covers_everything():
+    config = RLConfig(iterations=1, rollouts_per_iteration=10, num_fit_shards=3)
+    chunks = config.shard(list(range(10)))
+    flattened = [x for chunk in chunks for x in chunk]
+    assert flattened == list(range(10))
+    assert len(chunks) <= 3
+
+
+def test_paper_ratios_shape():
+    """The headline result: BSP ~9x slower than serial; ours several times
+    faster than serial; ours vs BSP in the tens (paper: 63x)."""
+    config = RLConfig(iterations=2, rollouts_per_iteration=64, num_fit_shards=8)
+    serial = run_serial(config)
+    bsp = run_bsp(config, BSPConfig(total_cores=8))
+    repro.init(backend="sim", num_nodes=2, num_cpus=4, num_gpus=1)
+    ours = run_ours(config)
+    repro.shutdown()
+
+    bsp_slowdown = bsp.total_time / serial.total_time
+    our_speedup = serial.total_time / ours.total_time
+    vs_bsp = bsp.total_time / ours.total_time
+    assert 6.0 <= bsp_slowdown <= 12.0     # paper: 9x slower
+    assert 4.0 <= our_speedup <= 12.0      # paper: 7x faster
+    assert 30.0 <= vs_bsp <= 110.0         # paper: 63x

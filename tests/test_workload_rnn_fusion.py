@@ -1,0 +1,99 @@
+"""Tests for the RNN lattice and sensor-fusion workloads (Fig. 2a/2c)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.workloads import rnn, sensor_fusion
+
+
+class TestRNN:
+    CONFIG = rnn.RNNConfig(layer_dims=(16, 48, 24), seq_len=8,
+                           duration_per_unit=20e-6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            rnn.RNNConfig(layer_dims=())
+        with pytest.raises(ValueError):
+            rnn.RNNConfig(seq_len=0)
+
+    def test_layer_durations_heterogeneous(self):
+        durations = [self.CONFIG.layer_duration(l) for l in range(3)]
+        assert len(set(durations)) == 3  # R4: genuinely different costs
+
+    def test_analytic_times(self):
+        # serial = T * sum(d); pipeline = sum(d) + (T-1) * max(d)
+        d = [self.CONFIG.layer_duration(l) for l in range(3)]
+        assert self.CONFIG.serial_time() == pytest.approx(8 * sum(d))
+        assert self.CONFIG.ideal_pipeline_time() == pytest.approx(
+            sum(d) + 7 * max(d)
+        )
+
+    def test_serial_matches_analytic_clock(self):
+        result = rnn.run_serial(self.CONFIG)
+        assert result.elapsed == pytest.approx(self.CONFIG.serial_time())
+
+    def test_ours_matches_serial_numerics(self, sim_runtime):
+        serial = rnn.run_serial(self.CONFIG)
+        ours = rnn.run_ours(self.CONFIG)
+        assert len(ours.outputs) == self.CONFIG.seq_len
+        for mine, ref in zip(ours.outputs, serial.outputs):
+            assert np.allclose(mine, ref)
+
+    def test_pipelining_beats_barriers(self, sim_runtime):
+        ours = rnn.run_ours(self.CONFIG)
+        repro.shutdown()
+        repro.init(backend="sim", num_nodes=4, num_cpus=4, num_gpus=1)
+        barriered = rnn.run_barriered(self.CONFIG)
+        assert ours.elapsed < barriered.elapsed
+        for mine, ref in zip(ours.outputs, barriered.outputs):
+            assert np.allclose(mine, ref)
+
+    def test_ours_faster_than_serial(self, sim_runtime):
+        ours = rnn.run_ours(self.CONFIG)
+        assert ours.elapsed < self.CONFIG.serial_time()
+
+
+class TestSensorFusion:
+    CONFIG = sensor_fusion.SensorConfig(num_windows=10, period=0.015)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            sensor_fusion.SensorConfig(preprocess_durations=())
+        with pytest.raises(ValueError):
+            sensor_fusion.SensorConfig(period=0)
+
+    def test_readings_deterministic(self):
+        a = sensor_fusion.make_reading(self.CONFIG, sensor=1, window=2)
+        b = sensor_fusion.make_reading(self.CONFIG, sensor=1, window=2)
+        assert np.allclose(a, b)
+
+    def test_fusion_weighs_low_variance_higher(self):
+        precise = {"sensor": 0, "features": np.ones(4), "variance": 0.01}
+        noisy = {"sensor": 1, "features": np.zeros(4), "variance": 10.0}
+        fused = sensor_fusion.fuse(precise, noisy)
+        assert np.all(fused["estimate"] > 0.9)
+
+    def test_fuse_requires_input(self):
+        with pytest.raises(ValueError):
+            sensor_fusion.fuse()
+
+    def test_pipeline_processes_every_window(self, sim_runtime):
+        result = sensor_fusion.run_pipeline(self.CONFIG)
+        assert sorted(result.estimates.keys()) == list(range(10))
+        assert len(result.latencies) == 10
+
+    def test_pipeline_matches_reference(self, sim_runtime):
+        result = sensor_fusion.run_pipeline(self.CONFIG)
+        reference = sensor_fusion.reference_estimates(self.CONFIG)
+        for window, estimate in result.estimates.items():
+            assert np.allclose(
+                estimate["estimate"], reference[window]["estimate"]
+            )
+
+    def test_latency_below_period(self, sim_runtime):
+        # Real-time requirement (R1): each window fuses before the next
+        # few arrive; p95 latency stays well under 2 sampling periods.
+        result = sensor_fusion.run_pipeline(self.CONFIG)
+        assert result.percentile(95) < 2 * self.CONFIG.period
+        assert result.mean_latency > 0
