@@ -2,10 +2,12 @@
 (Nishihara, Moritz, et al., HotOS 2017), the vision paper that became Ray.
 
 A distributed execution framework for real-time ML: a futures API
-(``remote`` / ``get`` / ``wait``) over a hybrid-scheduled, centrally
-coordinated cluster — available both as a deterministic discrete-event
-*simulated* cluster (``backend="sim"``) and as a real threaded runtime
-(``backend="local"``).
+(``remote`` / ``get`` / ``wait``) plus stateful actors over a
+hybrid-scheduled, centrally coordinated cluster — available both as a
+deterministic discrete-event *simulated* cluster (``backend="sim"``) and
+as a real threaded runtime (``backend="local"``).  Both are
+implementations of one backend protocol (:mod:`repro.core.backend`), so
+every program runs unchanged on either.
 
 Quickstart::
 
@@ -17,12 +19,27 @@ Quickstart::
     def square(x):
         return x * x
 
+    @repro.remote
+    class Counter:
+        def __init__(self):
+            self.value = 0
+
+        def add(self, delta):
+            self.value += delta
+            return self.value
+
     refs = [square.remote(i) for i in range(10)]
     print(repro.get(refs))
+
+    counter = Counter.remote()
+    counter.add.remote(2)
+    print(repro.get(counter.add.remote(3)))   # 5 — calls run in order
     repro.shutdown()
 """
 
 from repro.api import (
+    ActorClass,
+    ActorHandle,
     RemoteFunction,
     get,
     get_runtime,
@@ -35,10 +52,12 @@ from repro.api import (
     sleep,
     wait,
 )
-from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
 from repro.core.object_ref import ObjectRef
 from repro.errors import (
+    ActorLostError,
     BackendError,
+    GetTimeoutError,
     ObjectLostError,
     ReproError,
     SchedulingError,
@@ -46,7 +65,7 @@ from repro.errors import (
     TimeoutError_,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "init",
@@ -55,6 +74,8 @@ __all__ = [
     "get_runtime",
     "remote",
     "RemoteFunction",
+    "ActorClass",
+    "ActorHandle",
     "get",
     "wait",
     "put",
@@ -65,11 +86,15 @@ __all__ = [
     "Get",
     "Put",
     "Wait",
+    "ActorCreate",
+    "ActorCall",
     "ReproError",
     "TaskError",
     "BackendError",
     "ObjectLostError",
     "SchedulingError",
+    "GetTimeoutError",
     "TimeoutError_",
+    "ActorLostError",
     "__version__",
 ]

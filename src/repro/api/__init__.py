@@ -1,4 +1,4 @@
-"""The programming model of Section 3.1.
+"""The programming model of Section 3.1, plus stateful actors.
 
 >>> import repro
 >>> repro.init(backend="sim", num_nodes=4, num_cpus=8)
@@ -11,7 +11,8 @@
 >>> done, pending = repro.wait([ref], num_returns=1, timeout=1.0)
 >>> repro.shutdown()
 
-The five API elements map one-to-one onto the paper's list:
+The API elements map one-to-one onto the paper's list (1–5) and its
+successor systems' actor extension (6):
 
 1. task creation is non-blocking (``.remote()`` returns a future at once);
 2. arbitrary functions are remote tasks, and futures passed as arguments
@@ -19,7 +20,18 @@ The five API elements map one-to-one onto the paper's list:
 3. any task can create new tasks without blocking on their completion (R3);
 4. ``get`` blocks on a future's value;
 5. ``wait(refs, num_returns, timeout)`` returns early completers, letting
-   applications bound latency under heterogeneous task durations (R1, R4).
+   applications bound latency under heterogeneous task durations (R1, R4);
+6. ``@remote`` on a **class** declares an actor: ``Cls.remote(...)``
+   creates one placed instance and returns an ``ActorHandle`` at once,
+   ``handle.method.remote(...)`` submits method calls that execute in
+   submission order on the actor's state and return futures like any
+   task — the stateful-computation half of the model (R2: shared mutable
+   state for, e.g., parameter servers and simulators).  If the node
+   holding an actor dies, its pending and future calls raise
+   ``ActorLostError`` at ``get`` time.
+
+Both halves run identically on every registered backend (``"sim"``,
+``"local"``); see :mod:`repro.core.backend`.
 """
 
 from repro.api.remote_function import RemoteFunction, remote
@@ -34,6 +46,7 @@ from repro.api.runtime_context import (
     sleep,
     wait,
 )
+from repro.core.actors import ActorClass, ActorHandle, ActorMethod
 
 __all__ = [
     "init",
@@ -42,6 +55,9 @@ __all__ = [
     "get_runtime",
     "remote",
     "RemoteFunction",
+    "ActorClass",
+    "ActorHandle",
+    "ActorMethod",
     "get",
     "wait",
     "put",

@@ -1,11 +1,20 @@
-"""``@remote`` decorator and remote-function handles."""
+"""``@remote`` decorator and remote-function handles.
+
+Applied to a function, ``@remote`` yields a :class:`RemoteFunction` whose
+``.remote()`` submits stateless tasks.  Applied to a **class**, it yields
+an :class:`~repro.core.actors.ActorClass` whose ``.remote()`` creates a
+stateful actor and returns an :class:`~repro.core.actors.ActorHandle` —
+the sixth element of the programming model.
+"""
 
 from __future__ import annotations
 
 import functools
+import inspect
 from typing import Any, Callable, Optional
 
 from repro.api import runtime_context
+from repro.core.actors import ActorClass
 from repro.core.object_ref import ObjectRef
 from repro.core.task import ResourceRequest
 
@@ -122,12 +131,16 @@ def remote(
     duration: Any = None,
     max_reconstructions: int = 3,
 ):
-    """Designate a function as remotely executable.
+    """Designate a function as a remote task, or a class as an actor.
 
-    Bare form::
+    Bare forms::
 
         @remote
-        def f(x): ...
+        def f(x): ...          # f.remote(x) -> ObjectRef
+
+        @remote
+        class Counter:         # Counter.remote() -> ActorHandle
+            def incr(self): ...
 
     Configured form (heterogeneous resources, R4; modeled sim duration)::
 
@@ -136,12 +149,17 @@ def remote(
 
     ``duration`` models virtual compute time on the simulated backend: a
     float (seconds) or a callable ``(rng, args) -> float`` sampled per
-    attempt.  It is ignored by the threaded backend, where time is real.
+    attempt.  It is ignored by the threaded backend, where time is real
+    (and by actors, whose methods cost what they cost).
     """
     if function is not None:
+        if inspect.isclass(function):
+            return ActorClass(function)
         return RemoteFunction(function)
 
-    def decorator(inner: Callable) -> RemoteFunction:
+    def decorator(inner: Callable):
+        if inspect.isclass(inner):
+            return ActorClass(inner, num_cpus=num_cpus, num_gpus=num_gpus)
         return RemoteFunction(
             inner,
             num_cpus=num_cpus,

@@ -5,10 +5,9 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
+from repro.core.backend import create_backend
 from repro.core.object_ref import ObjectRef
 from repro.errors import BackendError
-
-_BACKENDS = ("sim", "local")
 
 _current_runtime: Any = None
 
@@ -19,20 +18,19 @@ def init(backend: str = "sim", **kwargs: Any):
     Parameters
     ----------
     backend:
+        Name of a registered backend (see :mod:`repro.core.backend`):
         ``"sim"`` for the deterministic simulated cluster (virtual time),
-        ``"local"`` for the real threaded runtime (wall-clock time).
+        ``"local"`` for the real threaded runtime (wall-clock time), or
+        any name added via ``repro.core.backend.register_backend``.
     num_nodes, num_cpus, num_gpus:
         Convenience shortcuts building a uniform cluster (ignored when an
         explicit ``cluster=ClusterSpec(...)`` is given).
     **kwargs:
-        Forwarded to :class:`repro.core.SimRuntime` or
-        :class:`repro.local.LocalRuntime`.
+        Forwarded to the backend factory.
     """
     global _current_runtime
     if _current_runtime is not None:
         raise BackendError("runtime already initialized; call shutdown() first")
-    if backend not in _BACKENDS:
-        raise BackendError(f"unknown backend {backend!r}; want one of {_BACKENDS}")
 
     if "cluster" not in kwargs:
         num_nodes = kwargs.pop("num_nodes", 1)
@@ -46,14 +44,7 @@ def init(backend: str = "sim", **kwargs: Any):
             object_store_capacity=object_store_capacity,
         )
 
-    if backend == "sim":
-        from repro.core.runtime import SimRuntime
-
-        _current_runtime = SimRuntime(**kwargs)
-    else:
-        from repro.local.runtime import LocalRuntime
-
-        _current_runtime = LocalRuntime(**kwargs)
+    _current_runtime = create_backend(backend, **kwargs)
     return _current_runtime
 
 
@@ -81,7 +72,7 @@ def get(refs: Any, timeout: Optional[float] = None) -> Any:
     """Block until future(s) resolve; returns value(s).
 
     Raises :class:`repro.errors.TaskError` if the producing task failed
-    and :class:`repro.errors.TimeoutError_` on timeout.
+    and :class:`repro.errors.GetTimeoutError` on timeout.
     """
     return get_runtime().get(refs, timeout=timeout)
 

@@ -6,7 +6,15 @@ and the centralized control plane — into :class:`~repro.core.runtime.SimRuntim
 the simulated-cluster backend behind the public API in :mod:`repro.api`.
 """
 
-from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.actors import ActorClass, ActorHandle
+from repro.core.backend import (
+    Backend,
+    create_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
 from repro.core.object_ref import ObjectRef
 from repro.core.runtime import SimRuntime
 from repro.core.task import ResourceRequest, TaskSpec, TaskState
@@ -17,8 +25,17 @@ __all__ = [
     "ResourceRequest",
     "ObjectRef",
     "SimRuntime",
+    "Backend",
+    "create_backend",
+    "register_backend",
+    "registered_backends",
+    "unregister_backend",
+    "ActorClass",
+    "ActorHandle",
     "Compute",
     "Get",
     "Put",
     "Wait",
+    "ActorCreate",
+    "ActorCall",
 ]

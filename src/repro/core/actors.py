@@ -1,0 +1,438 @@
+"""Stateful actors: the second pillar of the programming model.
+
+The paper's successor systems pair stateless tasks with **actors** —
+long-lived stateful workers whose methods execute in submission order and
+return futures like any task.  This module is the backend-independent
+half: the ``@remote``-on-a-class front end (:class:`ActorClass`,
+:class:`ActorHandle`), the actor table (:class:`ActorRegistry`), and the
+execution-side resolution both runtimes share.
+
+The runtime-side contract is small and identical on both backends:
+
+* ``create_actor`` picks a node with the existing placement machinery,
+  registers an :class:`ActorRecord`, and submits the constructor as a
+  placed task.  Creation is non-blocking; the handle returns immediately.
+* ``call_actor`` submits one task per method call.  Ordered execution
+  falls out of the dataflow graph: every call carries an *ordering
+  dependency* on the previous call's result object (and the first on the
+  creation object), so no two method tasks of one actor can ever overlap,
+  on any backend, without any per-actor lock.
+* Node failure (sim backend) marks every actor whose constructed instance
+  lived there as dead; orphaned and future method calls resolve to an
+  :class:`~repro.errors.ActorLostError` at ``get`` time, because actor
+  state — unlike stateless task lineage — cannot be replayed.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.object_ref import ObjectRef
+from repro.core.task import ResourceRequest, TaskSpec
+from repro.utils.ids import ActorID, NodeID
+
+#: ``TaskSpec.actor_method`` value marking the constructor task.
+CREATION_METHOD = "__init__"
+
+#: Sentinel distinguishing "not overridden" from an explicit None.
+_UNSET = object()
+
+
+# ----------------------------------------------------------------------
+# Actor table (one per runtime)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ActorRecord:
+    """One actor's row: identity, placement, liveness, and call chain."""
+
+    actor_id: ActorID
+    class_name: str
+    resources: ResourceRequest
+    #: Node chosen at creation time; re-pointed to wherever the
+    #: constructor actually ran (placement hints are advisory).
+    node_id: Optional[NodeID] = None
+    #: The live Python instance; stays None until the constructor task
+    #: executes (and forever, if it failed).
+    instance: Any = None
+    dead: bool = False
+    #: Result ref of the most recent submission (creation or method call);
+    #: the next call's ordering dependency.
+    last_call_ref: Optional[ObjectRef] = None
+    num_calls: int = 0
+    methods_executed: int = 0
+
+
+class ActorRegistry:
+    """The runtime's actor table."""
+
+    def __init__(self) -> None:
+        self._records: dict[ActorID, ActorRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def create(
+        self,
+        actor_id: ActorID,
+        class_name: str,
+        resources: ResourceRequest,
+        node_id: Optional[NodeID],
+    ) -> ActorRecord:
+        record = ActorRecord(
+            actor_id=actor_id,
+            class_name=class_name,
+            resources=resources,
+            node_id=node_id,
+        )
+        self._records[actor_id] = record
+        return record
+
+    def get(self, actor_id: ActorID) -> Optional[ActorRecord]:
+        return self._records.get(actor_id)
+
+    def is_dead(self, actor_id: ActorID) -> bool:
+        record = self._records.get(actor_id)
+        return record is not None and record.dead
+
+    def mark_dead_on_node(self, node_id: NodeID) -> list[ActorRecord]:
+        """Node failure: kill every actor whose *constructed* state lived
+        there.  Actors whose constructor has not run yet survive — their
+        creation task is stateless and will be recovered elsewhere by the
+        ordinary failure machinery."""
+        lost = []
+        for record in sorted(self._records.values(), key=lambda r: r.actor_id.hex):
+            if record.node_id == node_id and record.instance is not None and not record.dead:
+                record.dead = True
+                record.instance = None
+                lost.append(record)
+        return lost
+
+    def alive_on_node(self, node_id: NodeID) -> list[ActorRecord]:
+        return [
+            r
+            for r in self._records.values()
+            if r.node_id == node_id and not r.dead
+        ]
+
+
+# ----------------------------------------------------------------------
+# Submission-side spec building (shared by both backends)
+# ----------------------------------------------------------------------
+
+
+def build_creation_spec(
+    ids,
+    actor_id: ActorID,
+    actor_class: type,
+    class_name: str,
+    args: tuple,
+    kwargs: dict,
+    resources: ResourceRequest,
+    submitted_from: Optional[NodeID],
+    placement_hint: Optional[NodeID] = None,
+) -> TaskSpec:
+    """The constructor task for a new actor."""
+    return TaskSpec(
+        task_id=ids.task_id(),
+        function_id=ids.function_id(),
+        function_name=f"{class_name}.{CREATION_METHOD}",
+        function=actor_class,
+        args=tuple(args),
+        kwargs=dict(kwargs),
+        return_object_id=ids.object_id(),
+        resources=resources,
+        submitted_from=submitted_from,
+        placement_hint=placement_hint,
+        actor_id=actor_id,
+        actor_method=CREATION_METHOD,
+    )
+
+
+def build_call_spec(
+    ids,
+    record: ActorRecord,
+    method_name: str,
+    args: tuple,
+    kwargs: dict,
+    submitted_from: Optional[NodeID],
+) -> TaskSpec:
+    """One method-call task, chained on the actor's previous submission."""
+    extra = (record.last_call_ref,) if record.last_call_ref is not None else ()
+    return TaskSpec(
+        task_id=ids.task_id(),
+        function_id=ids.function_id(),
+        function_name=f"{record.class_name}.{method_name}",
+        args=tuple(args),
+        kwargs=dict(kwargs),
+        return_object_id=ids.object_id(),
+        resources=record.resources,
+        submitted_from=submitted_from,
+        placement_hint=record.node_id,
+        extra_dependencies=extra,
+        actor_id=record.actor_id,
+        actor_method=method_name,
+    )
+
+
+def chain_submission(record: ActorRecord, spec: TaskSpec) -> None:
+    """Advance the actor's call chain: the next call depends on this one."""
+    record.last_call_ref = spec.result_ref()
+    record.num_calls += 1
+
+
+# ----------------------------------------------------------------------
+# Execution-side resolution (shared by both backends' workers)
+# ----------------------------------------------------------------------
+
+
+def actor_lost_error_value(spec, record: ActorRecord):
+    """The stored result for a call whose actor died (kind-tagged so
+    ``get`` raises ActorLostError, not a generic TaskError)."""
+    from repro.core.worker import ErrorValue
+
+    return ErrorValue(
+        task_id=spec.task_id,
+        function_name=spec.function_name,
+        cause_repr="actor state lost in a node failure",
+        chain=(spec.function_name,),
+        kind="actor_lost",
+        actor_id=record.actor_id,
+    )
+
+
+def resolve_actor_callable(registry: ActorRegistry, spec):
+    """Map an actor task spec to the callable to run.
+
+    Returns ``(callable, record, error_value)`` — exactly one of
+    ``callable``/``error_value`` is non-None.  For creation tasks the
+    callable is the class itself; the caller must pass the constructed
+    instance to :func:`register_instance`.
+    """
+    from repro.core.worker import ErrorValue
+
+    record = registry.get(spec.actor_id)
+    if record is None:
+        return None, None, ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=f"unknown actor {spec.actor_id}",
+            chain=(spec.function_name,),
+        )
+    if record.dead:
+        return None, record, actor_lost_error_value(spec, record)
+    if spec.actor_method == CREATION_METHOD:
+        return spec.function, record, None
+    if record.instance is None:
+        return None, record, ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=(
+                f"actor {record.class_name} has no live instance "
+                "(its constructor failed or was lost)"
+            ),
+            chain=(spec.function_name,),
+        )
+    method = getattr(record.instance, spec.actor_method, None)
+    if method is None or not callable(method):
+        return None, record, ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=(
+                f"actor {record.class_name} has no method {spec.actor_method!r}"
+            ),
+            chain=(spec.function_name,),
+        )
+    return method, record, None
+
+
+def register_instance(record: ActorRecord, instance: Any, node_id: NodeID) -> None:
+    """The constructor ran: bind the live instance to its actual node."""
+    record.instance = instance
+    record.node_id = node_id
+
+
+# ----------------------------------------------------------------------
+# API front end: @remote on a class
+# ----------------------------------------------------------------------
+
+
+def public_methods(cls: type) -> tuple[str, ...]:
+    """Names a handle exposes: public callables defined on the class."""
+    names = []
+    for name, value in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if callable(value):
+            names.append(name)
+    return tuple(names)
+
+
+class ActorMethod:
+    """One bound method slot on a handle; ``.remote(...)`` submits a call."""
+
+    def __init__(self, handle: "ActorHandle", method_name: str) -> None:
+        self._handle = handle
+        self._method_name = method_name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActorMethod({self._handle.class_name}.{self._method_name})"
+
+    def remote(self, *args: Any, **kwargs: Any) -> ObjectRef:
+        """Submit one method invocation; returns its future immediately."""
+        from repro.api import runtime_context
+
+        runtime = runtime_context.get_runtime()
+        return runtime.call_actor(
+            self._handle.actor_id, self._method_name, args, kwargs
+        )
+
+
+@dataclass(frozen=True)
+class ActorHandle:
+    """A serializable reference to a live actor.
+
+    Handles hold no runtime state — call ordering lives in the runtime's
+    actor table — so copies (including pickled ones crossing task
+    boundaries) all feed the same totally-ordered call chain.
+    """
+
+    actor_id: ActorID
+    class_name: str
+    method_names: tuple = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActorHandle({self.class_name}, {self.actor_id})"
+
+    def __getattr__(self, name: str) -> ActorMethod:
+        # Only reached when normal attribute lookup fails; anything not a
+        # declared public method (including pickle's dunder probes) must
+        # raise AttributeError, not fabricate a method.
+        if name.startswith("_") or name not in self.method_names:
+            raise AttributeError(
+                f"actor {self.class_name!r} has no remote method {name!r}"
+            )
+        return ActorMethod(self, name)
+
+
+class ActorClass:
+    """A class designated as an actor factory (``@remote`` on a class).
+
+    ``.remote(*args)`` creates one actor instance somewhere on the
+    cluster and returns an :class:`ActorHandle` immediately;
+    ``.options(...)`` reconfigures resources/placement without mutating
+    this factory, mirroring :class:`~repro.api.remote_function.RemoteFunction`.
+    """
+
+    def __init__(
+        self,
+        cls: type,
+        num_cpus: int = 1,
+        num_gpus: int = 0,
+        placement_hint: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not inspect.isclass(cls):
+            raise TypeError(f"ActorClass expects a class, got {type(cls).__name__}")
+        self._cls = cls
+        self._name = name or cls.__name__
+        self._resources = ResourceRequest(num_cpus=num_cpus, num_gpus=num_gpus)
+        self._placement_hint = placement_hint
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActorClass({self._name})"
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError(
+            f"actor class {self._name!r} cannot be instantiated directly; "
+            f"use {self._name}.remote(...) (or .local(...) for an in-process "
+            "instance)"
+        )
+
+    def local(self, *args: Any, **kwargs: Any) -> Any:
+        """Construct a plain in-process instance (tests, baselines)."""
+        return self._cls(*args, **kwargs)
+
+    @property
+    def cls(self) -> type:
+        return self._cls
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def resources(self) -> ResourceRequest:
+        return self._resources
+
+    @property
+    def placement_hint(self) -> Any:
+        return self._placement_hint
+
+    def options(
+        self,
+        num_cpus: Optional[int] = None,
+        num_gpus: Optional[int] = None,
+        placement_hint: Any = _UNSET,
+    ) -> "ActorClass":
+        """A copy of this factory with overridden creation options."""
+        return ActorClass(
+            self._cls,
+            num_cpus=self._resources.num_cpus if num_cpus is None else num_cpus,
+            num_gpus=self._resources.num_gpus if num_gpus is None else num_gpus,
+            placement_hint=(
+                self._placement_hint if placement_hint is _UNSET else placement_hint
+            ),
+            name=self._name,
+        )
+
+    def remote(self, *args: Any, **kwargs: Any) -> ActorHandle:
+        """Create one actor; returns its handle immediately (non-blocking)."""
+        from repro.api import runtime_context
+
+        runtime = runtime_context.get_runtime()
+        return runtime.create_actor(
+            actor_class=self._cls,
+            class_name=self._name,
+            args=args,
+            kwargs=kwargs,
+            resources=self._resources,
+            placement_hint=self._placement_hint,
+        )
+
+
+def handle_for(record: ActorRecord, cls: type) -> ActorHandle:
+    """Build the user-facing handle for a freshly created actor."""
+    return ActorHandle(
+        actor_id=record.actor_id,
+        class_name=record.class_name,
+        method_names=public_methods(cls),
+    )
+
+
+def create_from_effect(runtime, effect) -> ActorHandle:
+    """Serve an ``ActorCreate`` effect against ``runtime``."""
+    factory = effect.actor_class
+    if not isinstance(factory, ActorClass):
+        factory = ActorClass(factory)
+    return runtime.create_actor(
+        actor_class=factory.cls,
+        class_name=factory.name,
+        args=tuple(effect.args),
+        kwargs=dict(effect.kwargs),
+        resources=factory.resources,
+        placement_hint=factory.placement_hint,
+    )
+
+
+def call_from_effect(runtime, effect) -> ObjectRef:
+    """Serve an ``ActorCall`` effect against ``runtime``."""
+    return runtime.call_actor(
+        effect.handle.actor_id,
+        effect.method_name,
+        tuple(effect.args),
+        dict(effect.kwargs),
+    )

@@ -1,0 +1,156 @@
+"""The backend protocol and registry: one programming model, many systems.
+
+The paper's central claim is that the programming model (non-blocking task
+creation, futures as dataflow edges, ``get``/``wait``) is separable from
+the system that serves it.  This module makes that separation literal:
+
+* :class:`Backend` is the protocol every runtime implements — the complete
+  surface :mod:`repro.api` is allowed to touch.  The simulated cluster
+  (``"sim"``) and the threaded runtime (``"local"``) are two
+  interchangeable implementations; user programs cannot tell them apart
+  except by the clock.
+* The **registry** maps backend names to factories, so
+  ``repro.init(backend=...)`` dispatches by name.  Third-party backends
+  register themselves with :func:`register_backend` instead of patching
+  ``init``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.object_ref import ObjectRef
+from repro.core.task import ResourceRequest
+from repro.errors import BackendError
+from repro.utils.ids import FunctionID, NodeID
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Everything a runtime must provide to serve the programming model.
+
+    Methods mirror the API elements of Section 3.1 plus lifecycle and the
+    actor extension: task submission is non-blocking and returns a future;
+    ``get``/``wait`` block in the backend's notion of time; ``put`` stores
+    driver-local values; actors are created and called through the same
+    future-returning discipline.
+    """
+
+    # -- lifecycle ------------------------------------------------------
+    closed: bool
+
+    def shutdown(self) -> None: ...
+
+    def stats(self) -> dict: ...
+
+    # -- function/actor registration ------------------------------------
+    def register_function(self, function: Callable, name: str) -> FunctionID: ...
+
+    # -- task protocol --------------------------------------------------
+    def submit_task(
+        self,
+        function: Callable,
+        function_id: FunctionID,
+        function_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        duration: Any = None,
+        placement_hint: Optional[NodeID] = None,
+        max_reconstructions: int = 3,
+    ) -> ObjectRef: ...
+
+    def get(self, refs: Any, timeout: Optional[float] = None) -> Any: ...
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> tuple: ...
+
+    def put(self, value: Any) -> ObjectRef: ...
+
+    def sleep(self, duration: float) -> None: ...
+
+    @property
+    def now(self) -> float: ...
+
+    # -- actor protocol -------------------------------------------------
+    def create_actor(
+        self,
+        actor_class: type,
+        class_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        placement_hint: Optional[NodeID] = None,
+    ) -> Any: ...
+
+    def call_actor(
+        self,
+        actor_id: Any,
+        method_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> ObjectRef: ...
+
+
+#: name -> zero-arg loader returning the backend factory (a callable that
+#: accepts the ``init`` kwargs and returns a :class:`Backend`).  Loaders
+#: keep registration lazy: importing ``repro`` must not import both
+#: runtimes and their dependency trees.
+_REGISTRY: dict[str, Callable[[], Callable[..., Any]]] = {}
+
+
+def register_backend(name: str, loader: Callable[[], Callable[..., Any]]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``loader`` is called lazily, once, the first time the backend is
+    instantiated; it returns the factory (usually the runtime class).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = loader
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (tests, plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names currently registered, sorted for stable error messages."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, **kwargs: Any) -> Any:
+    """Instantiate the backend registered under ``name``.
+
+    Raises :class:`~repro.errors.BackendError` with the full list of
+    registered names when ``name`` is unknown.
+    """
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{list(registered_backends())}"
+        )
+    factory = loader()
+    return factory(**kwargs)
+
+
+def _load_sim() -> Callable[..., Any]:
+    from repro.core.runtime import SimRuntime
+
+    return SimRuntime
+
+
+def _load_local() -> Callable[..., Any]:
+    from repro.local.runtime import LocalRuntime
+
+    return LocalRuntime
+
+
+register_backend("sim", _load_sim)
+register_backend("local", _load_local)

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.core.object_ref import ObjectRef
+from repro.core.protocol import normalize_get_refs, validate_wait_args
 from repro.core.task import TaskSpec
-from repro.errors import TimeoutError_
+from repro.errors import GetTimeoutError
 from repro.sim.core import Delay, Signal
 from repro.utils.serialization import serialize
 
@@ -46,16 +47,7 @@ class Driver:
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
         """Resolve future(s) to value(s); raises TaskError on task failure."""
-        single = isinstance(refs, ObjectRef)
-        try:
-            ref_list = [refs] if single else list(refs)
-        except TypeError:
-            raise TypeError(
-                f"get expects ObjectRef(s), got {type(refs).__name__}"
-            ) from None
-        for ref in ref_list:
-            if not isinstance(ref, ObjectRef):
-                raise TypeError(f"get expects ObjectRef(s), got {type(ref).__name__}")
+        ref_list, single = normalize_get_refs(refs)
         process = self.sim.spawn(
             self.runtime.get_values(self.node_id, ref_list), name="driver-get"
         )
@@ -72,12 +64,7 @@ class Driver:
         ``refs`` are complete or ``timeout`` elapses; returns
         ``(ready, pending)`` preserving input order."""
         ref_list = list(refs)
-        if num_returns < 0:
-            raise ValueError(f"negative num_returns: {num_returns}")
-        if num_returns > len(ref_list):
-            raise ValueError(
-                f"num_returns={num_returns} exceeds number of refs ({len(ref_list)})"
-            )
+        validate_wait_args(ref_list, num_returns)
         process = self.sim.spawn(
             self.runtime.wait_ready(self.node_id, ref_list, num_returns, timeout),
             name="driver-wait",
@@ -135,7 +122,7 @@ class Driver:
                 raise RuntimeError(f"deadlock: driver {what} can never complete")
             if self.sim._heap[0].time > deadline:
                 self.sim.run(until=deadline)
-                raise TimeoutError_(f"driver {what} timed out after {timeout}s")
+                raise GetTimeoutError(f"driver {what} timed out after {timeout}s")
             self.sim.step()
             processed += 1
             if (

@@ -6,7 +6,9 @@ timeout (the paper's ``wait`` primitive), or model a stretch of compute —
 are written as generators yielding these effects.  Both backends interpret
 them: the simulated runtime maps them onto virtual-time processes, the
 threaded runtime onto real blocking calls, so workload code runs unchanged
-on either.
+on either.  ``ActorCreate`` and ``ActorCall`` extend the vocabulary to the
+stateful-actor half of the model: task bodies can create actors and invoke
+their methods without blocking, receiving handles and futures back.
 """
 
 from __future__ import annotations
@@ -65,3 +67,41 @@ class Put:
     """Store a value in the object store; yields an ObjectRef for it."""
 
     value: Any
+
+
+@dataclass(frozen=True)
+class ActorCreate:
+    """Create a stateful actor from inside a task body.
+
+    ``yield ActorCreate(Counter, args=(0,))`` evaluates to an
+    :class:`~repro.core.actors.ActorHandle`; creation itself is
+    non-blocking (the constructor runs as a placed task).  ``actor_class``
+    may be the plain class or its ``@remote``-wrapped
+    :class:`~repro.core.actors.ActorClass`.
+    """
+
+    actor_class: Any
+    args: tuple = ()
+    kwargs: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kwargs is None:
+            object.__setattr__(self, "kwargs", {})
+
+
+@dataclass(frozen=True)
+class ActorCall:
+    """Invoke ``method_name`` on an actor; yields the call's ObjectRef.
+
+    Non-blocking, exactly like ``handle.method.remote(...)`` — follow
+    with ``yield Get(ref)`` to consume the result.
+    """
+
+    handle: Any  # ActorHandle
+    method_name: str
+    args: tuple = ()
+    kwargs: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kwargs is None:
+            object.__setattr__(self, "kwargs", {})

@@ -16,13 +16,26 @@ from typing import Any, Callable, Generator, Optional, Sequence
 from repro.cluster.costs import SystemCosts
 from repro.cluster.network import NetworkModel
 from repro.cluster.spec import ClusterSpec
+from repro.core.actors import (
+    CREATION_METHOD,
+    ActorHandle,
+    ActorRegistry,
+    actor_lost_error_value,
+    build_call_spec,
+    build_creation_spec,
+    chain_submission,
+    handle_for,
+)
 from repro.core.driver import Driver
 from repro.core.object_ref import ObjectRef
+from repro.core.protocol import check_cluster_feasible, unwrap_value
 from repro.core.task import ResourceRequest, TaskSpec
 from repro.core.worker import ErrorValue, Worker, WorkerContext
-from repro.errors import BackendError, ObjectLostError
+from repro.errors import BackendError, ObjectLostError, SchedulingError
 from repro.fault.lineage import LineageManager
 from repro.fault.monitor import FailureMonitor
+from repro.scheduling.policies import PlacementCandidate
+from repro.utils.ids import ActorID
 from repro.objectstore.store import LocalObjectStore
 from repro.objectstore.transfer import TransferManager
 from repro.scheduling.global_scheduler import GlobalScheduler
@@ -154,8 +167,9 @@ class SimRuntime:
         if enable_failure_monitor:
             self.sim.spawn(self.monitor.run(), name="failure-monitor")
 
-        # -- function registry and driver ------------------------------------
+        # -- function registry, actor table, and driver -----------------------
         self._functions: dict[FunctionID, Callable] = {}
+        self.actors = ActorRegistry()
         self._worker_context_stack: list[WorkerContext] = []
         self.driver = Driver(self)
 
@@ -245,13 +259,7 @@ class SimRuntime:
     ) -> ObjectRef:
         """Create and submit a task; returns its future immediately."""
         self._check_open()
-        max_cpus = self.cluster.max_cpus_per_node()
-        max_gpus = self.cluster.max_gpus_per_node()
-        if not resources.fits_node(max_cpus, max_gpus):
-            raise BackendError(
-                f"task {function_name} requests {resources} but the largest "
-                f"node has {max_cpus} CPUs / {max_gpus} GPUs"
-            )
+        check_cluster_feasible(self.cluster, resources, function_name)
         context = self.current_worker_context()
         spec = TaskSpec(
             task_id=self.ids.task_id(),
@@ -267,12 +275,111 @@ class SimRuntime:
             placement_hint=placement_hint,
             max_reconstructions=max_reconstructions,
         )
+        return self._submit_spec(spec, context)
+
+    def _submit_spec(self, spec: TaskSpec, context: Optional[WorkerContext]) -> ObjectRef:
         if context is not None:
             # Nested submission from inside a running task: fire-and-forget
             # into this node's local scheduler (non-blocking, R3).
             self.local_scheduler(context.node_id).submit(spec)
             return spec.result_ref()
         return self.driver.submit(spec)
+
+    # ------------------------------------------------------------------
+    # Actor protocol
+    # ------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        actor_class: type,
+        class_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        placement_hint: Optional[NodeID] = None,
+    ) -> ActorHandle:
+        """Create a stateful actor; returns its handle immediately.
+
+        The actor's node is chosen *now*, through the same
+        :class:`~repro.scheduling.policies.PlacementPolicy` the global
+        scheduler uses, so the constructor task and every method call
+        carry a placement hint that the ordinary spillover/global
+        scheduling path honors.
+        """
+        self._check_open()
+        check_cluster_feasible(
+            self.cluster, resources, f"{class_name}.{CREATION_METHOD}"
+        )
+        context = self.current_worker_context()
+        actor_id = self.ids.actor_id()
+        spec = build_creation_spec(
+            self.ids, actor_id, actor_class, class_name, args, kwargs,
+            resources, context.node_id if context else self.head_node_id,
+        )
+        node_id = placement_hint
+        if node_id is None or not self.node_alive(node_id):
+            node_id = self._place_actor(spec, resources)
+        spec.placement_hint = node_id
+        record = self.actors.create(actor_id, class_name, resources, node_id)
+        chain_submission(record, spec)
+        self.control_plane.log(
+            "actor_create_submitted", actor_id=actor_id, node=node_id,
+            class_name=class_name,
+        )
+        self._submit_spec(spec, context)
+        return handle_for(record, actor_class)
+
+    def _place_actor(self, spec: TaskSpec, resources: ResourceRequest) -> NodeID:
+        """Pick the actor's home node from live scheduler state."""
+        candidates = []
+        for node_id in self.alive_nodes:
+            scheduler = self._schedulers[node_id]
+            if resources.fits_node(scheduler.num_cpus, scheduler.num_gpus):
+                candidates.append(
+                    PlacementCandidate(
+                        node_id=node_id,
+                        est_cpus=scheduler.available_cpus,
+                        est_gpus=scheduler.available_gpus,
+                        queue_length=len(scheduler.runnable),
+                    )
+                )
+        if not candidates:
+            raise SchedulingError(
+                f"no live node satisfies {resources} for {spec.function_name}"
+            )
+        target = self.placement_policy.choose(spec, candidates)
+        if target is None:
+            # Saturated cluster: actors still need a home now; take the
+            # least-loaded feasible node deterministically.
+            target = max(
+                candidates,
+                key=lambda c: (c.est_cpus + c.est_gpus, -c.queue_length, c.node_id.hex),
+            ).node_id
+        return target
+
+    def call_actor(
+        self,
+        actor_id: ActorID,
+        method_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> ObjectRef:
+        """Submit one actor method invocation; returns its future.
+
+        Ordering is structural: the spec depends on the previous call's
+        result object, so method tasks of one actor can never interleave.
+        """
+        self._check_open()
+        record = self.actors.get(actor_id)
+        if record is None:
+            raise BackendError(f"unknown actor {actor_id}")
+        context = self.current_worker_context()
+        spec = build_call_spec(
+            self.ids, record, method_name, args, kwargs,
+            context.node_id if context else self.head_node_id,
+        )
+        chain_submission(record, spec)
+        return self._submit_spec(spec, context)
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
         self._check_open()
@@ -392,10 +499,7 @@ class SimRuntime:
         values = []
         for data in datas:
             yield Delay(self.costs.serialization_time(len(data)))
-            value = deserialize(data)
-            if isinstance(value, ErrorValue):
-                raise value.to_exception()
-            values.append(value)
+            values.append(unwrap_value(data))
         return values
 
     def _get_one_data(self, node_id: NodeID, ref: ObjectRef) -> Generator:
@@ -476,6 +580,13 @@ class SimRuntime:
         for worker in self._workers[node_id]:
             worker.kill()
         self._stores[node_id].clear()
+        # Actors whose constructed state lived here die with the node;
+        # their orphaned calls resolve to ActorLostError via resubmit().
+        for record in self.actors.mark_dead_on_node(node_id):
+            self.control_plane.log(
+                "actor_lost", actor_id=record.actor_id, node=node_id,
+                class_name=record.class_name,
+            )
 
     def kill_node_at(self, node_id: NodeID, at_time: float) -> None:
         """Schedule a node failure at a future virtual time."""
@@ -538,20 +649,37 @@ class SimRuntime:
         self.pick_global_scheduler(spec).receive(spec)
 
     def resubmit(self, spec: TaskSpec) -> None:
-        """Re-enter a task from its stored spec (failure recovery / replay)."""
+        """Re-enter a task from its stored spec (failure recovery / replay).
+
+        Stateless tasks re-run anywhere; a task belonging to a *dead*
+        actor cannot (its state died with the node), so it is failed with
+        an actor-lost marker instead — every getter, and every call
+        chained behind it, unblocks with :class:`ActorLostError`.
+        """
+        if spec.actor_id is not None and self.actors.is_dead(spec.actor_id):
+            record = self.actors.get(spec.actor_id)
+            self.control_plane.log(
+                "actor_task_lost", task_id=spec.task_id, actor_id=spec.actor_id
+            )
+            self._store_failure(spec, actor_lost_error_value(spec, record))
+            return
         self.local_scheduler(self.head_node_id).submit(spec)
 
     def fail_task(self, spec: TaskSpec, exc: Exception) -> None:
         """Mark a task permanently failed: store an error value as its
         result so every getter unblocks with a diagnosable error (R7)."""
-
-        def proc() -> Generator:
-            error = ErrorValue(
+        self._store_failure(
+            spec,
+            ErrorValue(
                 task_id=spec.task_id,
                 function_name=spec.function_name,
                 cause_repr=repr(exc),
                 chain=(spec.function_name,),
-            )
+            ),
+        )
+
+    def _store_failure(self, spec: TaskSpec, error: ErrorValue) -> None:
+        def proc() -> Generator:
             data = serialize(error)
             self.object_store(self.head_node_id).put(spec.return_object_id, data)
             self.control_plane.async_object_add_location(
@@ -597,6 +725,7 @@ class SimRuntime:
             "evictions": sum(s.evictions for s in self._stores.values()),
             "reconstructions": self.lineage.reconstructions_started,
             "nodes_declared_dead": len(self.monitor.nodes_declared_dead),
+            "actors_created": len(self.actors),
         }
 
     def shutdown(self) -> None:

@@ -84,20 +84,27 @@ class TaskSpec:
     placement_hint: Optional[NodeID] = None
     #: How many times the object may be rebuilt via lineage replay.
     max_reconstructions: int = 3
+    #: Ordering-only dependencies: awaited before the task becomes
+    #: runnable but never resolved into argument values.  Actor method
+    #: calls chain on the previous call's result ref through this field,
+    #: which is what serializes an actor's methods on every backend.
+    extra_dependencies: tuple = ()
+    #: Set for actor tasks: the actor this task belongs to and the method
+    #: it runs (``actors.CREATION_METHOD`` for the constructor, whose
+    #: ``function`` field holds the class itself).
+    actor_id: Optional[Any] = None
+    actor_method: Optional[str] = None
 
     def dependencies(self) -> list[ObjectID]:
-        """Object IDs this task consumes (futures in args/kwargs)."""
-        deps = []
-        for value in list(self.args) + list(self.kwargs.values()):
-            if isinstance(value, ObjectRef):
-                deps.append(value.object_id)
-        return deps
+        """Object IDs gating this task (argument futures + ordering deps)."""
+        return [ref.object_id for ref in self.dependency_refs()]
 
     def dependency_refs(self) -> list[ObjectRef]:
         refs = []
         for value in list(self.args) + list(self.kwargs.values()):
             if isinstance(value, ObjectRef):
                 refs.append(value)
+        refs.extend(self.extra_dependencies)
         return refs
 
     def sample_duration(self, rng) -> float:

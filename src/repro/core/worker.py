@@ -5,9 +5,17 @@ A worker executes one task at a time: it resolves the task's arguments
 triggering lineage reconstruction for lost ones), runs the function, and
 stores the result.  Task bodies may be plain callables (run atomically at
 a modeled virtual cost) or generators yielding the effects in
-:mod:`repro.core.effects` — ``Compute``, ``Get``, ``Wait``, ``Put`` — which
-is how tasks block mid-body and how nested tasks interleave with waiting
-(R3).
+:mod:`repro.core.effects` — ``Compute``, ``Get``, ``Wait``, ``Put``,
+``ActorCreate``, ``ActorCall`` — which is how tasks block mid-body and how
+nested tasks interleave with waiting (R3).  The effect loop itself is the
+shared interpreter in :mod:`repro.core.effect_driver`; this module binds
+it to the simulated cluster (virtual-time fetches, resource release while
+blocked).
+
+Actor tasks are executed here too: a creation task constructs the class
+instance and binds it to this node in the runtime's actor table; a method
+task looks the instance up and invokes the method, with the dataflow
+chain built at submission time guaranteeing per-actor ordering.
 
 Exceptions raised by user code never crash the worker: they are captured
 as an :class:`ErrorValue` stored in place of the result, and propagate
@@ -22,10 +30,16 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.actors import (
+    CREATION_METHOD,
+    register_instance,
+    resolve_actor_callable,
+)
+from repro.core.effect_driver import EffectHandler, effect_loop
+from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
 from repro.core.object_ref import ObjectRef
 from repro.core.task import TaskSpec, TaskState
-from repro.errors import ReproError, TaskError
+from repro.errors import ActorLostError, ReproError, TaskError
 from repro.sim.core import Delay, ProcessKilled
 from repro.utils.ids import NodeID, WorkerID
 from repro.utils.serialization import serialize
@@ -41,8 +55,16 @@ class ErrorValue:
     traceback_text: str = ""
     #: Function names the error has propagated through (origin first).
     chain: tuple = field(default_factory=tuple)
+    #: ``"task"`` for ordinary failures, ``"actor_lost"`` when the result
+    #: is unavailable because the actor's node died — the distinction
+    #: decides which exception ``get`` raises.
+    kind: str = "task"
+    actor_id: Any = None
 
-    def to_exception(self) -> TaskError:
+    def to_exception(self) -> ReproError:
+        if self.kind == "actor_lost":
+            class_name = self.function_name.split(".", 1)[0]
+            return ActorLostError(self.actor_id, class_name, self.cause_repr)
         return TaskError(
             self.task_id, self.function_name, self.cause_repr, self.traceback_text
         )
@@ -60,13 +82,16 @@ def error_value_from(spec: TaskSpec, exc: BaseException) -> ErrorValue:
 
 
 def propagate_error(value: ErrorValue, spec: TaskSpec) -> ErrorValue:
-    """Forward an upstream error through a dependent task."""
+    """Forward an upstream error through a dependent task (preserving its
+    kind, so an actor-loss surfaces as ActorLostError downstream too)."""
     return ErrorValue(
         task_id=value.task_id,
         function_name=value.function_name,
         cause_repr=value.cause_repr,
         traceback_text=value.traceback_text,
         chain=value.chain + (spec.function_name,),
+        kind=value.kind,
+        actor_id=value.actor_id,
     )
 
 
@@ -77,6 +102,79 @@ class WorkerContext:
 
     node_id: NodeID
     worker: "Worker"
+
+
+class SimEffectHandler(EffectHandler):
+    """Bind the effect vocabulary to the simulated cluster.
+
+    Blocking effects (``Get``/``Wait``) release the task's resource slots
+    while suspended and reacquire them before user code resumes, exactly
+    as Ray's raylets do with replacement workers.
+    """
+
+    passthrough = (ProcessKilled,)
+
+    def __init__(self, worker: "Worker", spec: TaskSpec, context: WorkerContext) -> None:
+        self.worker = worker
+        self.spec = spec
+        self.context = context
+        self.runtime = worker.runtime
+
+    def push_context(self) -> None:
+        self.runtime.push_worker_context(self.context)
+
+    def pop_context(self) -> None:
+        self.runtime.pop_worker_context()
+
+    def on_compute(self, item: Compute) -> Generator:
+        yield Delay(item.duration)
+
+    def on_get(self, item: Get) -> Generator:
+        worker = self.worker
+        worker.scheduler.release_while_blocked(worker, self.spec)
+        single = isinstance(item.refs, ObjectRef)
+        refs = [item.refs] if single else list(item.refs)
+        values = []
+        error: Optional[BaseException] = None
+        for ref in refs:
+            try:
+                value = yield from worker._fetch_value(ref.object_id)
+            except ReproError as exc:
+                # Fetch failed terminally (object lost, no reconstruction):
+                # surface it inside the body so user code can handle it.
+                error = exc
+                break
+            if isinstance(value, ErrorValue):
+                error = value.to_exception()
+                break
+            values.append(value)
+        yield worker.scheduler.reacquire_after_blocked(worker, self.spec)
+        if error is not None:
+            raise error
+        return values[0] if single else values
+
+    def on_wait(self, item: Wait) -> Generator:
+        worker = self.worker
+        worker.scheduler.release_while_blocked(worker, self.spec)
+        ready, pending = yield from self.runtime.wait_ready(
+            worker.node_id, list(item.refs), item.num_returns, item.timeout
+        )
+        yield worker.scheduler.reacquire_after_blocked(worker, self.spec)
+        return ready, pending
+
+    def on_put(self, item: Put) -> Generator:
+        result = yield from self.worker._put_value(item.value)
+        return result
+
+    def on_actor_create(self, item: ActorCreate):
+        from repro.core.actors import create_from_effect
+
+        return create_from_effect(self.runtime, item)
+
+    def on_actor_call(self, item: ActorCall):
+        from repro.core.actors import call_from_effect
+
+        return call_from_effect(self.runtime, item)
 
 
 class Worker:
@@ -185,7 +283,10 @@ class Worker:
 
         Returns ``(args, kwargs, upstream_error)``; if any argument is an
         upstream :class:`ErrorValue`, execution is skipped and the error is
-        propagated as this task's result.
+        propagated as this task's result.  Ordering-only dependencies
+        (``spec.extra_dependencies``) are *not* fetched: the scheduler has
+        already waited for them, and their values are irrelevant here —
+        an actor chain must keep running after one failed method call.
         """
         upstream_error: Optional[ErrorValue] = None
 
@@ -224,17 +325,33 @@ class Worker:
 
     def _execute(self, spec: TaskSpec, args: tuple, kwargs: dict) -> Generator:
         """Run the task body; returns the result or an ErrorValue."""
-        function = self.runtime.resolve_function(spec)
-        if function is None:
-            return ErrorValue(
-                task_id=spec.task_id,
-                function_name=spec.function_name,
-                cause_repr=f"function {spec.function_name!r} not registered",
-                chain=(spec.function_name,),
+        record = None
+        if spec.actor_id is not None:
+            function, record, error = resolve_actor_callable(
+                self.runtime.actors, spec
             )
+            if error is not None:
+                return error
+        else:
+            function = self.runtime.resolve_function(spec)
+            if function is None:
+                return ErrorValue(
+                    task_id=spec.task_id,
+                    function_name=spec.function_name,
+                    cause_repr=f"function {spec.function_name!r} not registered",
+                    chain=(spec.function_name,),
+                )
         context = WorkerContext(node_id=self.node_id, worker=self)
+
+        if record is not None and spec.actor_method == CREATION_METHOD:
+            result = yield from self._construct_actor(spec, function, args, kwargs, context)
+            return result
+
         if inspect.isgeneratorfunction(function):
-            result = yield from self._drive_generator(spec, function, args, kwargs, context)
+            handler = SimEffectHandler(self, spec, context)
+            result = yield from effect_loop(spec, function(*args, **kwargs), handler)
+            if record is not None and not isinstance(result, ErrorValue):
+                record.methods_executed += 1
             return result
 
         self.runtime.push_worker_context(context)
@@ -246,77 +363,36 @@ class Worker:
             return error_value_from(spec, exc)
         finally:
             self.runtime.pop_worker_context()
+        if record is not None:
+            record.methods_executed += 1
         duration = spec.sample_duration(self.rng)
         if duration > 0:
             yield Delay(duration)
         return result
 
-    def _drive_generator(
-        self, spec: TaskSpec, function, args: tuple, kwargs: dict, context: WorkerContext
+    def _construct_actor(
+        self, spec: TaskSpec, actor_class, args: tuple, kwargs: dict, context: WorkerContext
     ) -> Generator:
-        """Interpret a generator task body's yielded effects."""
-        runtime = self.runtime
-        generator = function(*args, **kwargs)
-        send_value: Any = None
-        throw_exc: Optional[BaseException] = None
-        while True:
-            runtime.push_worker_context(context)
-            try:
-                if throw_exc is not None:
-                    item = generator.throw(throw_exc)
-                else:
-                    item = generator.send(send_value)
-            except StopIteration as stop:
-                return stop.value
-            except ProcessKilled:
-                raise
-            except BaseException as exc:  # noqa: BLE001 - user code boundary
-                return error_value_from(spec, exc)
-            finally:
-                runtime.pop_worker_context()
-            throw_exc = None
-            send_value = None
-
-            if isinstance(item, Compute):
-                yield Delay(item.duration)
-            elif isinstance(item, Get):
-                # The task is about to block: release its CPU/GPU slots so
-                # other tasks — typically its own children — can run, then
-                # reacquire before resuming user code (Ray's raylets do
-                # exactly this with replacement workers).
-                self.scheduler.release_while_blocked(self, spec)
-                single = isinstance(item.refs, ObjectRef)
-                refs = [item.refs] if single else list(item.refs)
-                values = []
-                for ref in refs:
-                    try:
-                        value = yield from self._fetch_value(ref.object_id)
-                    except ReproError as exc:
-                        # Fetch failed terminally (object lost, no
-                        # reconstruction): surface it inside the body so
-                        # user code can handle or propagate it.
-                        throw_exc = exc
-                        break
-                    if isinstance(value, ErrorValue):
-                        throw_exc = value.to_exception()
-                        break
-                    values.append(value)
-                yield self.scheduler.reacquire_after_blocked(self, spec)
-                if throw_exc is None:
-                    send_value = values[0] if single else values
-            elif isinstance(item, Wait):
-                self.scheduler.release_while_blocked(self, spec)
-                ready, pending = yield from runtime.wait_ready(
-                    self.node_id, list(item.refs), item.num_returns, item.timeout
-                )
-                yield self.scheduler.reacquire_after_blocked(self, spec)
-                send_value = (ready, pending)
-            elif isinstance(item, Put):
-                send_value = yield from self._put_value(item.value)
-            else:
-                throw_exc = TypeError(
-                    f"task body yielded unsupported effect {item!r}"
-                )
+        """Run an actor constructor and bind the instance to this node."""
+        self.runtime.push_worker_context(context)
+        try:
+            instance = actor_class(*args, **kwargs)
+        except ProcessKilled:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - user code boundary
+            return error_value_from(spec, exc)
+        finally:
+            self.runtime.pop_worker_context()
+        record = self.runtime.actors.get(spec.actor_id)
+        register_instance(record, instance, self.node_id)
+        self.runtime.control_plane.log(
+            "actor_created", actor_id=spec.actor_id, node=self.node_id,
+            class_name=record.class_name,
+        )
+        duration = spec.sample_duration(self.rng)
+        if duration > 0:
+            yield Delay(duration)
+        return None
 
     def _put_value(self, value: Any) -> Generator:
         """Worker-side ``put``: store a value, return a ref for it."""

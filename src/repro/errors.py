@@ -46,8 +46,12 @@ class ObjectLostError(ReproError):
     """An object's every replica was lost and reconstruction is disabled."""
 
 
-class TimeoutError_(ReproError):
+class GetTimeoutError(ReproError):
     """A blocking ``get`` exceeded its timeout."""
+
+
+#: Deprecated alias for :class:`GetTimeoutError` (the pre-0.2 name).
+TimeoutError_ = GetTimeoutError
 
 
 class SchedulingError(ReproError):
@@ -56,3 +60,23 @@ class SchedulingError(ReproError):
 
 class WorkerCrashedError(ReproError):
     """The worker executing a task died (node failure) before finishing."""
+
+
+class ActorLostError(ReproError):
+    """The node hosting an actor died; its state is gone.
+
+    Raised at ``get`` time for every method call placed on the dead actor
+    — pending calls orphaned by the failure and any call submitted after
+    it.  Unlike stateless tasks, actor methods cannot be transparently
+    re-executed by lineage replay: their results depend on state that died
+    with the node (Section 3.2.1's recovery story covers only stateless
+    components).
+    """
+
+    def __init__(self, actor_id, class_name: str, detail: str = "") -> None:
+        self.actor_id = actor_id
+        self.class_name = class_name
+        message = f"actor {actor_id} ({class_name}) was lost to a node failure"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

@@ -81,6 +81,17 @@ class LineageManager:
                 f"(producer {entry.producer_task})"
             )
         spec = task_entry.spec
+        if spec.actor_id is not None and not runtime.actors.is_dead(spec.actor_id):
+            # Actor tasks are not replayable while the actor lives: the
+            # method (or constructor) already consumed/produced actor
+            # state, and re-executing it would silently corrupt that
+            # state.  (For a *dead* actor, resubmit() below stores an
+            # ActorLostError marker instead of re-running.)
+            raise ObjectLostError(
+                f"object {object_id} was produced by actor task "
+                f"{spec.function_name} and cannot be rebuilt by replay "
+                "(actor state is not reconstructable)"
+            )
         if task_entry.attempts > spec.max_reconstructions:
             raise ObjectLostError(
                 f"object {object_id} exceeded max_reconstructions="

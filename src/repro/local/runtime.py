@@ -1,4 +1,14 @@
-"""Threaded runtime: real workers, real futures, real time."""
+"""Threaded runtime: real workers, real futures, real time.
+
+This backend implements the same :class:`repro.core.backend.Backend`
+protocol as the simulated cluster, sharing the protocol's semantics with
+it through the core modules: argument validation and error unwrapping
+(:mod:`repro.core.protocol`), dataflow dependency tracking
+(:mod:`repro.core.dependencies`), the generator-effect interpreter
+(:mod:`repro.core.effect_driver`), and the actor table
+(:mod:`repro.core.actors`).  What is left here is exactly the part that
+must differ: threads, locks, and wall-clock time.
+"""
 
 from __future__ import annotations
 
@@ -10,12 +20,33 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
-from repro.core.effects import Compute, Get, Put, Wait
+from repro.core.actors import (
+    CREATION_METHOD,
+    ActorHandle,
+    ActorRegistry,
+    build_call_spec,
+    build_creation_spec,
+    call_from_effect,
+    chain_submission,
+    create_from_effect,
+    handle_for,
+    register_instance,
+    resolve_actor_callable,
+)
+from repro.core.dependencies import DependencyTracker
+from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
 from repro.core.object_ref import ObjectRef
+from repro.core.protocol import (
+    check_cluster_feasible,
+    normalize_get_refs,
+    partition_by_ready,
+    unwrap_value,
+    validate_wait_args,
+)
 from repro.core.task import ResourceRequest, TaskSpec
 from repro.core.worker import ErrorValue, error_value_from, propagate_error
-from repro.errors import BackendError, TimeoutError_
-from repro.utils.ids import FunctionID, IDGenerator, NodeID, ObjectID
+from repro.errors import BackendError, GetTimeoutError
+from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
 from repro.utils.serialization import deserialize, serialize
 
 _POISON = object()
@@ -36,6 +67,33 @@ class _Node:
     tasks_executed: int = 0
 
 
+class _LocalEffectHandler(EffectHandler):
+    """Bind the effect vocabulary to real blocking calls."""
+
+    def __init__(self, runtime: "LocalRuntime") -> None:
+        self.runtime = runtime
+
+    def on_compute(self, item) -> None:
+        time.sleep(item.duration)
+
+    def on_get(self, item) -> Any:
+        return self.runtime.get(item.refs)
+
+    def on_wait(self, item) -> tuple:
+        return self.runtime.wait(
+            list(item.refs), num_returns=item.num_returns, timeout=item.timeout
+        )
+
+    def on_put(self, item) -> ObjectRef:
+        return self.runtime.put(item.value)
+
+    def on_actor_create(self, item) -> ActorHandle:
+        return create_from_effect(self.runtime, item)
+
+    def on_actor_call(self, item) -> ObjectRef:
+        return call_from_effect(self.runtime, item)
+
+
 class LocalRuntime:
     """Thread-pool implementation of the backend protocol."""
 
@@ -53,11 +111,12 @@ class LocalRuntime:
         self._ready_cond = threading.Condition(self._lock)
         #: Shared object store (single-process: all nodes share memory).
         self._objects: dict[ObjectID, bytes] = {}
-        #: Tasks whose dependencies are not all ready yet.
-        self._waiting: dict = {}
-        self._dep_index: dict[ObjectID, set] = {}
+        #: Tasks whose dependencies are not all ready yet (shared core).
+        self._deps = DependencyTracker()
         self._functions: dict[FunctionID, Callable] = {}
+        self.actors = ActorRegistry()
         self._tls = threading.local()
+        self._effect_handler = _LocalEffectHandler(self)
 
         self.node_ids: list[NodeID] = []
         self._nodes: dict[NodeID, _Node] = {}
@@ -106,13 +165,7 @@ class LocalRuntime:
         max_reconstructions: int = 3,
     ) -> ObjectRef:
         self._check_open()
-        max_cpus = self.cluster.max_cpus_per_node()
-        max_gpus = self.cluster.max_gpus_per_node()
-        if not resources.fits_node(max_cpus, max_gpus):
-            raise BackendError(
-                f"task {function_name} requests {resources} but the largest "
-                f"node has {max_cpus} CPUs / {max_gpus} GPUs"
-            )
+        check_cluster_feasible(self.cluster, resources, function_name)
         spec = TaskSpec(
             task_id=self.ids.task_id(),
             function_id=function_id,
@@ -126,38 +179,91 @@ class LocalRuntime:
             submitted_from=self._current_node_id(),
             placement_hint=placement_hint,
         )
+        return self._submit_spec(spec)
+
+    def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
+        """Gate on unproduced dependencies, else enqueue (shared protocol)."""
         with self._lock:
             missing = {
                 dep for dep in spec.dependencies() if dep not in self._objects
             }
             if missing:
-                self._waiting[spec.task_id] = (spec, missing)
-                for dep in missing:
-                    self._dep_index.setdefault(dep, set()).add(spec.task_id)
+                self._deps.add(spec, missing)
             else:
                 self._enqueue_runnable(spec)
         return spec.result_ref()
 
+    # ------------------------------------------------------------------
+    # Actor protocol
+    # ------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        actor_class: type,
+        class_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        placement_hint: Optional[NodeID] = None,
+    ) -> ActorHandle:
+        """Create a stateful actor; returns its handle immediately.
+
+        Placement reuses this backend's scheduler: the constructor task
+        is pinned to the node the most-free-slots policy picks, and every
+        method call follows it there.
+        """
+        self._check_open()
+        check_cluster_feasible(
+            self.cluster, resources, f"{class_name}.{CREATION_METHOD}"
+        )
+        with self._lock:
+            actor_id = self.ids.actor_id()
+            spec = build_creation_spec(
+                self.ids, actor_id, actor_class, class_name, args, kwargs,
+                resources, self._current_node_id(), placement_hint=placement_hint,
+            )
+            home = self._choose_node(spec)
+            spec.placement_hint = home.node_id
+            record = self.actors.create(actor_id, class_name, resources, home.node_id)
+            chain_submission(record, spec)
+        self._submit_spec(spec)
+        return handle_for(record, actor_class)
+
+    def call_actor(
+        self,
+        actor_id: ActorID,
+        method_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> ObjectRef:
+        """Submit one actor method invocation; returns its future.
+
+        The ordering dependency on the previous call's result object is
+        what serializes the actor's methods — no per-actor lock exists.
+        """
+        self._check_open()
+        with self._lock:
+            record = self.actors.get(actor_id)
+            if record is None:
+                raise BackendError(f"unknown actor {actor_id}")
+            spec = build_call_spec(
+                self.ids, record, method_name, args, kwargs, self._current_node_id()
+            )
+            chain_submission(record, spec)
+        return self._submit_spec(spec)
+
+    # ------------------------------------------------------------------
+    # Blocking primitives
+    # ------------------------------------------------------------------
+
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
         self._check_open()
-        single = isinstance(refs, ObjectRef)
-        try:
-            ref_list = [refs] if single else list(refs)
-        except TypeError:
-            raise TypeError(
-                f"get expects ObjectRef(s), got {type(refs).__name__}"
-            ) from None
-        for ref in ref_list:
-            if not isinstance(ref, ObjectRef):
-                raise TypeError(f"get expects ObjectRef(s), got {type(ref).__name__}")
+        ref_list, single = normalize_get_refs(refs)
         deadline = None if timeout is None else time.monotonic() + timeout
         values = []
         for ref in ref_list:
             data = self._wait_for_object(ref.object_id, deadline)
-            value = deserialize(data)
-            if isinstance(value, ErrorValue):
-                raise value.to_exception()
-            values.append(value)
+            values.append(unwrap_value(data))
         return values[0] if single else values
 
     def wait(
@@ -168,12 +274,7 @@ class LocalRuntime:
     ) -> tuple:
         self._check_open()
         ref_list = list(refs)
-        if num_returns < 0:
-            raise ValueError(f"negative num_returns: {num_returns}")
-        if num_returns > len(ref_list):
-            raise ValueError(
-                f"num_returns={num_returns} exceeds number of refs ({len(ref_list)})"
-            )
+        validate_wait_args(ref_list, num_returns)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._ready_cond:
             while True:
@@ -187,9 +288,7 @@ class LocalRuntime:
                         break
                 self._ready_cond.wait(timeout=remaining)
             ready_ids = {r.object_id for r in ref_list if r.object_id in self._objects}
-        ready = [r for r in ref_list if r.object_id in ready_ids]
-        pending = [r for r in ref_list if r.object_id not in ready_ids]
-        return ready, pending
+        return partition_by_ready(ref_list, lambda r: r.object_id in ready_ids)
 
     def put(self, value: Any) -> ObjectRef:
         self._check_open()
@@ -210,7 +309,8 @@ class LocalRuntime:
             return {
                 "tasks_executed": sum(n.tasks_executed for n in self._nodes.values()),
                 "objects_stored": len(self._objects),
-                "tasks_waiting": len(self._waiting),
+                "tasks_waiting": len(self._deps),
+                "actors_created": len(self.actors),
             }
 
     def shutdown(self) -> None:
@@ -273,17 +373,7 @@ class LocalRuntime:
         """Insert an object and wake dependents/waiters."""
         with self._ready_cond:
             self._objects[object_id] = data
-            newly_runnable = []
-            for task_id in self._dep_index.pop(object_id, ()):
-                entry = self._waiting.get(task_id)
-                if entry is None:
-                    continue
-                spec, missing = entry
-                missing.discard(object_id)
-                if not missing:
-                    del self._waiting[task_id]
-                    newly_runnable.append(spec)
-            for spec in sorted(newly_runnable, key=lambda s: s.task_id.hex):
+            for spec in self._deps.mark_ready(object_id):
                 self._enqueue_runnable(spec)
             self._ready_cond.notify_all()
 
@@ -294,7 +384,7 @@ class LocalRuntime:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise TimeoutError_(f"get timed out waiting for {object_id}")
+                        raise GetTimeoutError(f"get timed out waiting for {object_id}")
                 self._ready_cond.wait(timeout=remaining)
             return self._objects[object_id]
 
@@ -328,6 +418,8 @@ class LocalRuntime:
         self._store_object(spec.return_object_id, data)
 
     def _resolve_args(self, spec: TaskSpec):
+        """Materialize argument futures (ordering-only deps are skipped:
+        an actor chain must keep running after one failed method call)."""
         upstream_error: Optional[ErrorValue] = None
 
         def resolve(value: Any) -> Any:
@@ -345,6 +437,8 @@ class LocalRuntime:
         return args, kwargs, upstream_error
 
     def _execute(self, spec: TaskSpec, args: tuple, kwargs: dict) -> Any:
+        if spec.actor_id is not None:
+            return self._execute_actor(spec, args, kwargs)
         function = spec.function or self._functions.get(spec.function_id)
         if function is None:
             return ErrorValue(
@@ -353,39 +447,34 @@ class LocalRuntime:
                 cause_repr=f"function {spec.function_name!r} not registered",
                 chain=(spec.function_name,),
             )
+        return self._run_callable(spec, function, args, kwargs)
+
+    def _execute_actor(self, spec: TaskSpec, args: tuple, kwargs: dict) -> Any:
+        with self._lock:
+            function, record, error = resolve_actor_callable(self.actors, spec)
+        if error is not None:
+            return error
+        if spec.actor_method == CREATION_METHOD:
+            try:
+                instance = function(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - user code boundary
+                return error_value_from(spec, exc)
+            with self._lock:
+                register_instance(record, instance, self._current_node_id())
+            return None
+        result = self._run_callable(spec, function, args, kwargs)
+        if not isinstance(result, ErrorValue):
+            with self._lock:
+                record.methods_executed += 1
+        return result
+
+    def _run_callable(self, spec: TaskSpec, function: Callable, args: tuple, kwargs: dict) -> Any:
+        """Run a task body (plain or generator-of-effects); capture errors."""
         try:
             if inspect.isgeneratorfunction(function):
-                return self._drive_generator(spec, function(*args, **kwargs))
+                return run_effect_loop_sync(
+                    spec, function(*args, **kwargs), self._effect_handler
+                )
             return function(*args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - user code boundary
             return error_value_from(spec, exc)
-
-    def _drive_generator(self, spec: TaskSpec, generator) -> Any:
-        """Interpret yielded effects with real blocking calls."""
-        send_value: Any = None
-        throw_exc: Optional[BaseException] = None
-        while True:
-            try:
-                if throw_exc is not None:
-                    item = generator.throw(throw_exc)
-                else:
-                    item = generator.send(send_value)
-            except StopIteration as stop:
-                return stop.value
-            throw_exc = None
-            send_value = None
-            if isinstance(item, Compute):
-                time.sleep(item.duration)
-            elif isinstance(item, Get):
-                try:
-                    send_value = self.get(item.refs)
-                except Exception as exc:  # TaskError from upstream
-                    throw_exc = exc
-            elif isinstance(item, Wait):
-                send_value = self.wait(
-                    list(item.refs), num_returns=item.num_returns, timeout=item.timeout
-                )
-            elif isinstance(item, Put):
-                send_value = self.put(item.value)
-            else:
-                throw_exc = TypeError(f"task body yielded unsupported effect {item!r}")

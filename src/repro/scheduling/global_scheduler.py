@@ -12,25 +12,16 @@ onto a node that only *looks* idle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.core.task import TaskSpec, TaskState
 from repro.errors import SchedulingError
-from repro.scheduling.policies import PlacementPolicy
+from repro.scheduling.policies import PlacementCandidate, PlacementPolicy
 from repro.sim.core import Delay
 from repro.utils.ids import NodeID
 
-
-@dataclass
-class _Candidate:
-    """The global scheduler's working estimate for one node."""
-
-    node_id: NodeID
-    est_cpus: int
-    est_gpus: int
-    queue_length: int
-    locality_bytes: int = 0
+#: Backward-compatible name (the candidate shape now lives in policies).
+_Candidate = PlacementCandidate
 
 
 class GlobalScheduler:
@@ -135,7 +126,7 @@ class GlobalScheduler:
         for info in statically_feasible:
             est_cpus, est_gpus = self._estimate(info)
             candidates.append(
-                _Candidate(
+                PlacementCandidate(
                     node_id=info.node_id,
                     est_cpus=est_cpus,
                     est_gpus=est_gpus,

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.core.dependencies import DependencyTracker
 from repro.core.task import TaskSpec, TaskState
 from repro.scheduling.policies import SpilloverPolicy
 from repro.sim.core import Delay, Signal
 from repro.store.control_plane import NodeInfo
-from repro.utils.ids import NodeID, ObjectID, TaskID
+from repro.utils.ids import NodeID, ObjectID
 
 
 class LocalScheduler:
@@ -45,9 +46,8 @@ class LocalScheduler:
         self.workers: list = []
 
         self.runnable: list[TaskSpec] = []
-        self._waiting_missing: dict[TaskID, set] = {}
-        self._waiting_specs: dict[TaskID, TaskSpec] = {}
-        self._dep_waiters: dict[ObjectID, set] = {}
+        #: Shared dataflow bookkeeping (same class the threaded backend uses).
+        self.deps = DependencyTracker()
         self._known_ready: set = set()
         #: Workers whose task released its resources mid-body (blocked on
         #: a Get/Wait effect) and the FIFO of resumption grants.
@@ -101,16 +101,12 @@ class LocalScheduler:
             self._on_runnable(spec)
             return
 
-        self._waiting_missing[spec.task_id] = missing
-        self._waiting_specs[spec.task_id] = spec
+        newly_watched = self.deps.add(spec, missing)
         cp.async_task_set_state(
             self.node_id, spec.task_id, TaskState.WAITING, node=self.node_id
         )
-        for dep in missing:
-            already_watched = dep in self._dep_waiters
-            self._dep_waiters.setdefault(dep, set()).add(spec.task_id)
-            if not already_watched:
-                self.sim.spawn(self._subscribe_dep(dep), name="dep-subscribe")
+        for dep in newly_watched:
+            self.sim.spawn(self._subscribe_dep(dep), name="dep-subscribe")
 
     def _subscribe_dep(self, dep: ObjectID) -> Generator:
         """Watch one dependency; handles the already-ready fast path."""
@@ -128,15 +124,8 @@ class LocalScheduler:
         if self.dead:
             return
         self._known_ready.add(dep)
-        for task_id in sorted(self._dep_waiters.pop(dep, ()), key=lambda t: t.hex):
-            missing = self._waiting_missing.get(task_id)
-            if missing is None:
-                continue
-            missing.discard(dep)
-            if not missing:
-                del self._waiting_missing[task_id]
-                spec = self._waiting_specs.pop(task_id)
-                self._on_runnable(spec)
+        for spec in self.deps.mark_ready(dep):
+            self._on_runnable(spec)
 
     # ------------------------------------------------------------------
     # Keep-or-spill decision
@@ -315,8 +304,6 @@ class LocalScheduler:
         (surviving) control plane by the failure handler, not from here."""
         self.dead = True
         self.runnable.clear()
-        self._waiting_missing.clear()
-        self._waiting_specs.clear()
-        self._dep_waiters.clear()
+        self.deps.clear()
         self._resume_queue.clear()
         self.blocked_workers = 0

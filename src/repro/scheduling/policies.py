@@ -62,6 +62,22 @@ class SpilloverPolicy:
         return backlog >= self.queue_threshold * node_cpus
 
 
+@dataclass
+class PlacementCandidate:
+    """A scheduler's working estimate for one feasible node.
+
+    Built by the global scheduler from heartbeats (corrected by its own
+    recent assignments) and by the runtimes' actor-placement path from
+    live scheduler state; :meth:`PlacementPolicy.choose` scores either.
+    """
+
+    node_id: NodeID
+    est_cpus: int
+    est_gpus: int
+    queue_length: int
+    locality_bytes: int = 0
+
+
 @dataclass(frozen=True)
 class PlacementPolicy:
     """Global scheduler's node choice for a spilled task.

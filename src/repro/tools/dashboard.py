@@ -26,7 +26,7 @@ class ClusterDashboard:
                     "gpus": f"{scheduler.num_gpus - scheduler.available_gpus}"
                             f"/{scheduler.num_gpus}",
                     "queued": len(scheduler.runnable),
-                    "waiting": len(scheduler._waiting_specs),
+                    "waiting": len(scheduler.deps),
                     "executed": scheduler.tasks_executed,
                     "spilled": scheduler.tasks_spilled,
                     "store_objects": store.num_objects,

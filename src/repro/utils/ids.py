@@ -72,6 +72,12 @@ class FunctionID(BaseID):
     _tag = "func"
 
 
+class ActorID(BaseID):
+    """Identifies one stateful actor (its row in the actor table)."""
+
+    _tag = "actor"
+
+
 @dataclass
 class IDGenerator:
     """Deterministic factory for fresh IDs.
@@ -102,3 +108,6 @@ class IDGenerator:
 
     def function_id(self) -> FunctionID:
         return FunctionID(self._next_hex("function"))
+
+    def actor_id(self) -> ActorID:
+        return ActorID(self._next_hex("actor"))

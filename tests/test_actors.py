@@ -1,0 +1,308 @@
+"""Stateful actors: ordering, futures, placement, and loss semantics."""
+
+import pytest
+
+import repro
+from repro.core.actors import ActorClass, ActorHandle
+from repro.errors import ActorLostError, BackendError, TaskError
+
+BACKENDS = ("sim", "local")
+
+
+@repro.remote
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+        self.history = []
+
+    def add(self, delta):
+        self.value += delta
+        self.history.append(self.value)
+        return self.value
+
+    def get_value(self):
+        return self.value
+
+    def get_history(self):
+        return list(self.history)
+
+    def boom(self):
+        raise RuntimeError("counter exploded")
+
+
+@repro.remote
+def double(x):
+    return 2 * x
+
+
+@pytest.fixture(params=BACKENDS)
+def runtime(request):
+    rt = repro.init(backend=request.param, num_nodes=3, num_cpus=2, seed=7)
+    yield rt
+    repro.shutdown()
+
+
+def _non_head(rt):
+    return [n for n in rt.node_ids if n != rt.head_node_id]
+
+
+# ----------------------------------------------------------------------
+# Decorator surface
+# ----------------------------------------------------------------------
+
+
+def test_remote_on_class_yields_actor_class():
+    assert isinstance(Counter, ActorClass)
+    assert Counter.name == "Counter"
+
+
+def test_actor_class_rejects_direct_instantiation():
+    with pytest.raises(TypeError, match="remote"):
+        Counter()
+
+
+def test_actor_class_local_builds_plain_instance():
+    instance = Counter.local(5)
+    assert instance.add(1) == 6
+
+
+def test_handle_rejects_unknown_method(runtime):
+    handle = Counter.remote()
+    with pytest.raises(AttributeError, match="no remote method"):
+        handle.not_a_method
+    assert isinstance(handle, ActorHandle)
+
+
+# ----------------------------------------------------------------------
+# Core semantics, identical on both backends
+# ----------------------------------------------------------------------
+
+
+def test_creation_is_nonblocking_and_methods_return_futures(runtime):
+    handle = Counter.remote(10)
+    ref = handle.add.remote(5)
+    assert isinstance(ref, repro.ObjectRef)
+    assert repro.get(ref) == 15
+
+
+def test_methods_execute_in_submission_order(runtime):
+    handle = Counter.remote()
+    refs = [handle.add.remote(1) for _ in range(20)]
+    assert repro.get(refs) == list(range(1, 21))
+    assert repro.get(handle.get_history.remote()) == list(range(1, 21))
+
+
+def test_state_persists_across_calls(runtime):
+    handle = Counter.remote(100)
+    handle.add.remote(-1)
+    handle.add.remote(-1)
+    assert repro.get(handle.get_value.remote()) == 98
+
+
+def test_actor_results_feed_task_dataflow(runtime):
+    handle = Counter.remote(3)
+    ref = double.remote(handle.add.remote(4))     # (3+4)*2
+    assert repro.get(ref) == 14
+
+
+def test_method_error_raises_task_error_but_actor_survives(runtime):
+    handle = Counter.remote(1)
+    bad = handle.boom.remote()
+    after = handle.add.remote(1)
+    with pytest.raises(TaskError, match="counter exploded"):
+        repro.get(bad)
+    # The failed call did not kill the actor or break ordering.
+    assert repro.get(after) == 2
+
+
+def test_constructor_error_surfaces_on_method_calls(runtime):
+    @repro.remote
+    class Broken:
+        def __init__(self):
+            raise ValueError("bad ctor")
+
+        def ping(self):
+            return "pong"
+
+    handle = Broken.remote()
+    with pytest.raises(TaskError):
+        repro.get(handle.ping.remote())
+
+
+def test_two_actors_are_independent(runtime):
+    a = Counter.remote(0)
+    b = Counter.remote(1000)
+    a.add.remote(1)
+    b.add.remote(1)
+    assert repro.get(a.get_value.remote()) == 1
+    assert repro.get(b.get_value.remote()) == 1001
+
+
+def test_handle_passed_into_task(runtime):
+    @repro.remote
+    def call_through(handle):
+        return handle.add.remote(7)
+
+    handle = Counter.remote(1)
+    inner_ref = repro.get(call_through.remote(handle))
+    assert repro.get(inner_ref) == 8
+
+
+def test_actor_effects_inside_generator_task(runtime):
+    @repro.remote
+    def orchestrate():
+        handle = yield repro.ActorCreate(Counter, args=(50,))
+        ref = yield repro.ActorCall(handle, "add", (25,))
+        value = yield repro.Get(ref)
+        return value
+
+    assert repro.get(orchestrate.remote()) == 75
+
+
+def test_call_actor_unknown_id_rejected(runtime):
+    with pytest.raises(BackendError, match="unknown actor"):
+        runtime.call_actor(runtime.ids.actor_id(), "add", (1,), {})
+
+
+def test_stats_count_actors(runtime):
+    Counter.remote()
+    Counter.remote()
+    assert runtime.stats()["actors_created"] == 2
+
+
+# ----------------------------------------------------------------------
+# Placement (sim backend exposes the scheduler internals to assert on)
+# ----------------------------------------------------------------------
+
+
+def test_actor_placement_hint_honored_sim():
+    rt = repro.init(backend="sim", num_nodes=3, num_cpus=2, seed=3)
+    try:
+        target = _non_head(rt)[0]
+        handle = Counter.options(placement_hint=target).remote()
+        repro.get(handle.add.remote(1))
+        record = rt.actors.get(handle.actor_id)
+        assert record.node_id == target
+        assert record.instance is not None
+    finally:
+        repro.shutdown()
+
+
+def test_actor_methods_run_on_home_node_sim():
+    rt = repro.init(backend="sim", num_nodes=3, num_cpus=2, seed=3)
+    try:
+        target = _non_head(rt)[0]
+        handle = Counter.options(placement_hint=target).remote()
+        repro.get([handle.add.remote(1) for _ in range(4)])
+        started = rt.event_log.filter(kind="task_started")
+        actor_rows = [e for e in started if "Counter.add" in str(e.get("function"))]
+        assert actor_rows and all(e.get("node") == target for e in actor_rows)
+    finally:
+        repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Actor loss (sim backend: the only one with fault injection)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def sim():
+    rt = repro.init(backend="sim", num_nodes=3, num_cpus=2, seed=11)
+    yield rt
+    repro.shutdown()
+
+
+def test_call_after_node_death_raises_actor_lost(sim):
+    victim = _non_head(sim)[0]
+    handle = Counter.options(placement_hint=victim).remote()
+    assert repro.get(handle.add.remote(1)) == 1
+    sim.kill_node(victim)
+    with pytest.raises(ActorLostError):
+        repro.get(handle.add.remote(1))
+
+
+def test_inflight_calls_orphaned_by_death_raise_actor_lost(sim):
+    @repro.remote
+    class Slow:
+        def __init__(self):
+            self.calls = 0
+
+        def work(self):
+            # A second of modeled compute per call, so the node dies with
+            # calls queued behind an executing one.
+            self.calls += 1
+            yield repro.Compute(1.0)
+            return self.calls
+
+    victim = _non_head(sim)[0]
+    handle = Slow.options(placement_hint=victim).remote()
+    # Queue slow calls on the actor, then kill its node mid-execution;
+    # the failure monitor recovers the orphaned specs, which must resolve
+    # to ActorLostError (state cannot be replayed), not re-execute.
+    refs = [handle.work.remote() for _ in range(3)]
+    sim.kill_node_at(victim, at_time=sim.now + 0.5)
+    for ref in refs:
+        with pytest.raises(ActorLostError):
+            repro.get(ref)
+    assert sim.monitor.nodes_declared_dead == [victim]
+
+
+def test_actor_loss_propagates_through_dependent_tasks(sim):
+    victim = _non_head(sim)[0]
+    handle = Counter.options(placement_hint=victim).remote()
+    repro.get(handle.add.remote(1))
+    sim.kill_node(victim)
+    downstream = double.remote(handle.get_value.remote())
+    with pytest.raises(ActorLostError):
+        repro.get(downstream)
+
+
+def test_other_actors_survive_unrelated_node_death(sim):
+    victims = _non_head(sim)
+    doomed = Counter.options(placement_hint=victims[0]).remote()
+    safe = Counter.options(placement_hint=victims[1]).remote(10)
+    repro.get([doomed.add.remote(1), safe.add.remote(1)])
+    sim.kill_node(victims[0])
+    assert repro.get(safe.add.remote(1)) == 12
+    with pytest.raises(ActorLostError):
+        repro.get(doomed.get_value.remote())
+
+
+def test_actor_method_results_not_replayed_on_live_actor():
+    # Lineage replay would re-execute the method on the live instance and
+    # silently corrupt its state; an evicted actor-method result must
+    # surface ObjectLostError instead, leaving the actor untouched.
+    from repro.errors import ObjectLostError
+
+    rt = repro.init(
+        backend="sim", num_nodes=1, num_cpus=2, seed=2,
+        object_store_capacity=600,
+    )
+    try:
+        counter = Counter.remote(0)
+        ref = counter.add.remote(1)
+        repro.wait([ref], num_returns=1)
+        # Churn the tiny store until the method result is evicted.
+        for _ in range(4):
+            repro.put(b"x" * 400)
+        assert not rt.object_store(rt.head_node_id).contains(ref.object_id)
+        with pytest.raises(ObjectLostError, match="actor"):
+            repro.get(ref)
+        # The add(1) above ran exactly once: state is 1, not 2.
+        assert repro.get(counter.get_value.remote()) == 1
+    finally:
+        repro.shutdown()
+
+
+def test_stateless_tasks_still_recover_after_actor_loss(sim):
+    victim = _non_head(sim)[0]
+    handle = Counter.options(placement_hint=victim).remote()
+    repro.get(handle.add.remote(1))
+    slow = double.options(duration=1.0, placement_hint=victim)
+    task_ref = slow.remote(21)
+    sim.kill_node_at(victim, at_time=sim.now + 0.3)
+    # The stateless task is replayed elsewhere; the actor is not.
+    assert repro.get(task_ref) == 42
+    with pytest.raises(ActorLostError):
+        repro.get(handle.get_value.remote())

@@ -1,0 +1,166 @@
+"""Cross-backend parity: one program, identical results on sim and local.
+
+The paper's thesis is that the programming model is independent of the
+serving system.  These tests make that falsifiable: a single program
+exercising tasks, dataflow, nested tasks, actors, ``wait`` timeouts, and
+error propagation runs once per backend, and its *observable results*
+(values, orderings, error types and provenance) must match exactly —
+only the clocks may differ.
+"""
+
+import pytest
+
+import repro
+from repro.errors import GetTimeoutError, TaskError
+
+BACKENDS = ("sim", "local")
+
+
+@repro.remote
+class Accumulator:
+    def __init__(self, start):
+        self.total = start
+
+    def add(self, amount):
+        self.total += amount
+        return self.total
+
+    def total_value(self):
+        return self.total
+
+
+@repro.remote
+def square(x):
+    return x * x
+
+
+@repro.remote
+def add(x, y):
+    return x + y
+
+
+@repro.remote
+def fail(message):
+    raise ValueError(message)
+
+
+def run_program(backend):
+    """The parity workload; returns every observable outcome."""
+    outcome = {}
+    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=42)
+    try:
+        # Tasks + dataflow chains.
+        refs = [square.remote(i) for i in range(8)]
+        outcome["squares"] = repro.get(refs)
+        chained = add.remote(add.remote(1, 2), add.remote(3, 4))
+        outcome["chained"] = repro.get(chained)
+
+        # Nested task creation (R3).
+        @repro.remote
+        def parent(n):
+            return add.remote(n, n)
+
+        outcome["nested"] = repro.get(repro.get(parent.remote(5)))
+
+        # put / get round-trip.
+        outcome["put"] = repro.get(repro.put({"k": [1, 2, 3]}))
+
+        # Actors: ordering and state.
+        acc = Accumulator.remote(100)
+        outcome["actor_series"] = repro.get([acc.add.remote(i) for i in range(5)])
+        outcome["actor_total"] = repro.get(acc.total_value.remote())
+        outcome["actor_into_task"] = repro.get(add.remote(acc.total_value.remote(), 1))
+
+        # wait: early completion and zero-timeout partial results.
+        done_refs = [square.remote(i) for i in range(4)]
+        repro.get(done_refs)                      # all complete
+        ready, pending = repro.wait(done_refs, num_returns=4, timeout=5.0)
+        outcome["wait_ready"] = repro.get(ready)
+        outcome["wait_pending_count"] = len(pending)
+
+        # Error propagation: type, provenance, and chain survival.
+        bad = fail.remote("parity-boom")
+        downstream = add.remote(bad, 1)
+        for key, ref in (("error_direct", bad), ("error_downstream", downstream)):
+            try:
+                repro.get(ref)
+                outcome[key] = "no-error"
+            except TaskError as exc:
+                outcome[key] = (type(exc).__name__, exc.function_name, exc.cause_repr)
+
+        # Method errors don't kill the actor.
+        @repro.remote
+        class Fragile:
+            def __init__(self):
+                self.alive_calls = 0
+
+            def crash(self):
+                raise RuntimeError("method-boom")
+
+            def ping(self):
+                self.alive_calls += 1
+                return self.alive_calls
+
+        fragile = Fragile.remote()
+        crash_ref = fragile.crash.remote()
+        try:
+            repro.get(crash_ref)
+            outcome["actor_error"] = "no-error"
+        except TaskError as exc:
+            outcome["actor_error"] = (type(exc).__name__, exc.function_name)
+        outcome["actor_survives"] = repro.get(fragile.ping.remote())
+
+        # Generator effects (the shared effect driver).
+        @repro.remote
+        def pipeline(x):
+            ref = add.remote(x, 1)
+            value = yield repro.Get(ref)
+            stored = yield repro.Put(value * 10)
+            final = yield repro.Get(stored)
+            ready, pending = yield repro.Wait([stored], num_returns=1)
+            return final + len(ready)
+
+        outcome["effects"] = repro.get(pipeline.remote(5))
+    finally:
+        repro.shutdown()
+    return outcome
+
+
+def test_same_program_same_results_on_both_backends():
+    results = {backend: run_program(backend) for backend in BACKENDS}
+    assert results["sim"] == results["local"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_get_timeout_type_is_shared(backend):
+    repro.init(backend=backend, num_nodes=1, num_cpus=1, seed=1)
+    try:
+        if backend == "sim":
+            slow = square.options(duration=10.0).remote(3)
+        else:
+            @repro.remote
+            def sleepy(x):
+                import time
+                time.sleep(10.0)
+                return x
+
+            slow = sleepy.remote(3)
+        with pytest.raises(GetTimeoutError):
+            repro.get(slow, timeout=0.05)
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_wait_validation_is_shared(backend):
+    repro.init(backend=backend, num_nodes=1, num_cpus=1, seed=1)
+    try:
+        ref = square.remote(2)
+        with pytest.raises(ValueError, match="num_returns"):
+            repro.wait([ref], num_returns=2)
+        with pytest.raises(ValueError, match="negative"):
+            repro.wait([ref], num_returns=-1)
+        with pytest.raises(TypeError, match="ObjectRef"):
+            repro.get(42)
+    finally:
+        repro.shutdown()

@@ -106,12 +106,12 @@ class TestLocalSchedulerInternals:
         # Let the submit procs run, but not the slow producers.
         runtime.sim.run(until=0.05)
         assert c.object_id not in scheduler._known_ready
-        assert len(scheduler._waiting_specs) == 1
-        missing = next(iter(scheduler._waiting_missing.values()))
+        assert len(scheduler.deps) == 1
+        missing = scheduler.deps.missing_for(c.producer_task)
         assert missing == {a.object_id, b.object_id}
         assert repro.get(c) == 3
-        assert scheduler._waiting_specs == {}
-        assert scheduler._waiting_missing == {}
+        assert len(scheduler.deps) == 0
+        assert scheduler.deps.missing_for(c.producer_task) == set()
         repro.shutdown()
 
     def test_known_ready_cache_grows(self):
@@ -152,8 +152,8 @@ class TestLocalSchedulerInternals:
         scheduler = runtime.local_scheduler(runtime.head_node_id)
         runtime.sim.run(until=0.05)
         # One watch entry covers all five waiting readers.
-        assert set(scheduler._dep_waiters.keys()) == {shared.object_id}
-        assert len(scheduler._dep_waiters[shared.object_id]) == 5
+        assert scheduler.deps.watched_objects() == {shared.object_id}
+        assert len(scheduler.deps.waiters_for(shared.object_id)) == 5
         values = repro.get(readers)
         assert values == [(7, i) for i in range(5)]
         repro.shutdown()
