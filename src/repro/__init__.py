@@ -3,11 +3,12 @@
 
 A distributed execution framework for real-time ML: a futures API
 (``remote`` / ``get`` / ``wait``) plus stateful actors over a
-hybrid-scheduled, centrally coordinated cluster — available both as a
-deterministic discrete-event *simulated* cluster (``backend="sim"``) and
-as a real threaded runtime (``backend="local"``).  Both are
-implementations of one backend protocol (:mod:`repro.core.backend`), so
-every program runs unchanged on either.
+hybrid-scheduled, centrally coordinated cluster — available as a
+deterministic discrete-event *simulated* cluster (``backend="sim"``), a
+real threaded runtime (``backend="local"``), and a real *multiprocess*
+runtime with true parallelism and crash recovery (``backend="proc"``).
+All are implementations of one backend protocol
+(:mod:`repro.core.backend`), so every program runs unchanged on any.
 
 Quickstart::
 
@@ -63,6 +64,7 @@ from repro.errors import (
     SchedulingError,
     TaskError,
     TimeoutError_,
+    WorkerCrashedError,
 )
 
 __version__ = "0.2.0"
@@ -96,5 +98,6 @@ __all__ = [
     "GetTimeoutError",
     "TimeoutError_",
     "ActorLostError",
+    "WorkerCrashedError",
     "__version__",
 ]

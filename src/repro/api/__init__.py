@@ -29,9 +29,22 @@ successor systems' actor extension (6):
    state for, e.g., parameter servers and simulators).  If the node
    holding an actor dies, its pending and future calls raise
    ``ActorLostError`` at ``get`` time.
+7. the **backend is a named, capability-tagged choice**, not a property
+   of the program: ``init(backend="sim")`` for the deterministic
+   simulated cluster, ``"local"`` for real threads, ``"proc"`` for real
+   worker *processes* with true parallelism
+   (``init("proc", num_workers=4)``), and anything registered through
+   ``repro.core.backend.register_backend``.  Static flags
+   (``backend_capabilities(name)``: ``true_parallelism``,
+   ``virtual_time``, ``fault_injection``, ``multiprocess``) let programs
+   and harnesses branch on what a backend guarantees without
+   instantiating it; the parity test matrix holds every backend to the
+   same observable semantics, including failure semantics (lineage
+   replay for stateless tasks, ``ActorLostError`` for lost actors,
+   ``WorkerCrashedError`` when replay is off or exhausted).
 
-Both halves run identically on every registered backend (``"sim"``,
-``"local"``); see :mod:`repro.core.backend`.
+All of it runs identically on every registered backend; see
+:mod:`repro.core.backend`.
 """
 
 from repro.api.remote_function import RemoteFunction, remote

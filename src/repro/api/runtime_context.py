@@ -20,13 +20,24 @@ def init(backend: str = "sim", **kwargs: Any):
     backend:
         Name of a registered backend (see :mod:`repro.core.backend`):
         ``"sim"`` for the deterministic simulated cluster (virtual time),
-        ``"local"`` for the real threaded runtime (wall-clock time), or
-        any name added via ``repro.core.backend.register_backend``.
+        ``"local"`` for the real threaded runtime (wall-clock time),
+        ``"proc"`` for the real multiprocess runtime (worker processes,
+        true parallelism), or any name added via
+        ``repro.core.backend.register_backend``.
     num_nodes, num_cpus, num_gpus:
         Convenience shortcuts building a uniform cluster (ignored when an
         explicit ``cluster=ClusterSpec(...)`` is given).
     **kwargs:
-        Forwarded to the backend factory.
+        Forwarded to the backend factory.  Unknown options raise
+        :class:`~repro.errors.BackendError` naming the offending kwarg
+        and the backend's valid options.  Proc-backend options include
+        ``num_workers`` (default: the cluster's total CPUs),
+        ``worker_crash_policy`` (``"replace"`` replays stateless tasks
+        from lineage after a worker crash, ``"fail"`` surfaces
+        ``WorkerCrashedError`` immediately), ``inline_threshold`` (bytes;
+        serialized arguments at or below it ship inline with the task,
+        larger ones are fetched from the driver store and cached
+        per-worker), and ``worker_cache_bytes``.
     """
     global _current_runtime
     if _current_runtime is not None:

@@ -40,6 +40,21 @@ CREATION_METHOD = "__init__"
 _UNSET = object()
 
 
+class _RemoteInstance:
+    """Placeholder stored in ``ActorRecord.instance`` when the live Python
+    object exists in another *process* (the proc backend pins each actor's
+    state to one worker process; the driver's record only tracks that the
+    constructor succeeded).  Liveness logic (``mark_dead_on_node``,
+    ``instance is None`` checks) treats it like any bound instance."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<actor instance lives in a worker process>"
+
+
+#: Singleton placeholder for out-of-process actor instances.
+REMOTE_INSTANCE = _RemoteInstance()
+
+
 # ----------------------------------------------------------------------
 # Actor table (one per runtime)
 # ----------------------------------------------------------------------
@@ -310,10 +325,15 @@ class ActorHandle:
     def __getattr__(self, name: str) -> ActorMethod:
         # Only reached when normal attribute lookup fails; anything not a
         # declared public method (including pickle's dunder probes) must
-        # raise AttributeError, not fabricate a method.
-        if name.startswith("_") or name not in self.method_names:
+        # raise AttributeError, not fabricate a method.  Fields are read
+        # through __dict__ because during unpickling this runs *before*
+        # the instance state exists — touching self.class_name here would
+        # recurse straight back into __getattr__.
+        fields = object.__getattribute__(self, "__dict__")
+        if name.startswith("_") or name not in fields.get("method_names", ()):
             raise AttributeError(
-                f"actor {self.class_name!r} has no remote method {name!r}"
+                f"actor {fields.get('class_name', '<unpickling>')!r} has no "
+                f"remote method {name!r}"
             )
         return ActorMethod(self, name)
 

@@ -6,23 +6,52 @@ the system that serves it.  This module makes that separation literal:
 
 * :class:`Backend` is the protocol every runtime implements — the complete
   surface :mod:`repro.api` is allowed to touch.  The simulated cluster
-  (``"sim"``) and the threaded runtime (``"local"``) are two
-  interchangeable implementations; user programs cannot tell them apart
-  except by the clock.
+  (``"sim"``), the threaded runtime (``"local"``), and the multiprocess
+  runtime (``"proc"``) are three interchangeable implementations; user
+  programs cannot tell them apart except by the clock and by how fast
+  CPU-bound work actually goes.
 * The **registry** maps backend names to factories, so
   ``repro.init(backend=...)`` dispatches by name.  Third-party backends
   register themselves with :func:`register_backend` instead of patching
   ``init``.
+* Each registration carries a :class:`BackendCapabilities` record —
+  static facts a program or test harness may branch on (does the backend
+  give *true* parallelism? a virtual clock? fault injection?) without
+  instantiating it.  ``backend_capabilities(name)`` looks them up.
 """
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.object_ref import ObjectRef
 from repro.core.task import ResourceRequest
 from repro.errors import BackendError
 from repro.utils.ids import FunctionID, NodeID
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static, backend-invariant facts about one registered backend.
+
+    ``true_parallelism``
+        CPU-bound tasks genuinely overlap (separate processes, no GIL).
+        False for the threaded backend, where parallelism is concurrency.
+    ``virtual_time``
+        ``sleep``/``now`` run on a simulated clock rather than wall time.
+    ``fault_injection``
+        The runtime exposes kill primitives (``kill_node`` on sim,
+        ``kill_worker`` on proc) for failure testing.
+    ``multiprocess``
+        Tasks execute in worker *processes* distinct from the driver.
+    """
+
+    true_parallelism: bool = False
+    virtual_time: bool = False
+    fault_injection: bool = False
+    multiprocess: bool = False
 
 
 @runtime_checkable
@@ -102,21 +131,31 @@ class Backend(Protocol):
 #: runtimes and their dependency trees.
 _REGISTRY: dict[str, Callable[[], Callable[..., Any]]] = {}
 
+#: name -> static capability flags declared at registration time.
+_CAPABILITIES: dict[str, BackendCapabilities] = {}
 
-def register_backend(name: str, loader: Callable[[], Callable[..., Any]]) -> None:
+
+def register_backend(
+    name: str,
+    loader: Callable[[], Callable[..., Any]],
+    capabilities: Optional[BackendCapabilities] = None,
+) -> None:
     """Register (or replace) a backend factory under ``name``.
 
     ``loader`` is called lazily, once, the first time the backend is
     instantiated; it returns the factory (usually the runtime class).
+    ``capabilities`` defaults to all-False flags.
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"backend name must be a non-empty string, got {name!r}")
     _REGISTRY[name] = loader
+    _CAPABILITIES[name] = capabilities or BackendCapabilities()
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend from the registry (tests, plugin teardown)."""
     _REGISTRY.pop(name, None)
+    _CAPABILITIES.pop(name, None)
 
 
 def registered_backends() -> tuple[str, ...]:
@@ -124,11 +163,48 @@ def registered_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def backend_capabilities(name: str) -> BackendCapabilities:
+    """Capability flags declared for a registered backend."""
+    if name not in _CAPABILITIES:
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{list(registered_backends())}"
+        )
+    return _CAPABILITIES[name]
+
+
+def _check_init_kwargs(name: str, factory: Callable[..., Any], kwargs: dict) -> None:
+    """Reject unknown init options, naming the kwarg and the valid set.
+
+    Skipped when the factory takes ``**kwargs`` (custom backends may do
+    their own validation) or when its signature cannot be introspected.
+    """
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return
+    valid = sorted(
+        pname
+        for pname, p in parameters.items()
+        if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    )
+    unknown = sorted(k for k in kwargs if k not in valid)
+    if unknown:
+        raise BackendError(
+            f"unknown init option(s) {unknown} for backend {name!r}; "
+            f"valid options: {valid}"
+        )
+
+
 def create_backend(name: str, **kwargs: Any) -> Any:
     """Instantiate the backend registered under ``name``.
 
     Raises :class:`~repro.errors.BackendError` with the full list of
-    registered names when ``name`` is unknown.
+    registered names when ``name`` is unknown, and with the offending
+    kwarg(s) plus the backend's valid options when an init option is
+    misspelled (rather than silently ignoring it).
     """
     loader = _REGISTRY.get(name)
     if loader is None:
@@ -137,6 +213,7 @@ def create_backend(name: str, **kwargs: Any) -> Any:
             f"{list(registered_backends())}"
         )
     factory = loader()
+    _check_init_kwargs(name, factory, kwargs)
     return factory(**kwargs)
 
 
@@ -152,5 +229,22 @@ def _load_local() -> Callable[..., Any]:
     return LocalRuntime
 
 
-register_backend("sim", _load_sim)
-register_backend("local", _load_local)
+def _load_proc() -> Callable[..., Any]:
+    from repro.proc.runtime import ProcRuntime
+
+    return ProcRuntime
+
+
+register_backend(
+    "sim",
+    _load_sim,
+    BackendCapabilities(virtual_time=True, fault_injection=True),
+)
+register_backend("local", _load_local, BackendCapabilities())
+register_backend(
+    "proc",
+    _load_proc,
+    BackendCapabilities(
+        true_parallelism=True, fault_injection=True, multiprocess=True
+    ),
+)

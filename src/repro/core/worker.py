@@ -39,7 +39,7 @@ from repro.core.effect_driver import EffectHandler, effect_loop
 from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
 from repro.core.object_ref import ObjectRef
 from repro.core.task import TaskSpec, TaskState
-from repro.errors import ActorLostError, ReproError, TaskError
+from repro.errors import ActorLostError, ReproError, TaskError, WorkerCrashedError
 from repro.sim.core import Delay, ProcessKilled
 from repro.utils.ids import NodeID, WorkerID
 from repro.utils.serialization import serialize
@@ -56,8 +56,10 @@ class ErrorValue:
     #: Function names the error has propagated through (origin first).
     chain: tuple = field(default_factory=tuple)
     #: ``"task"`` for ordinary failures, ``"actor_lost"`` when the result
-    #: is unavailable because the actor's node died — the distinction
-    #: decides which exception ``get`` raises.
+    #: is unavailable because the actor's node died, ``"worker_crashed"``
+    #: when the executing worker process died and lineage replay was
+    #: unavailable or exhausted — the kind decides which exception ``get``
+    #: raises.
     kind: str = "task"
     actor_id: Any = None
 
@@ -65,6 +67,10 @@ class ErrorValue:
         if self.kind == "actor_lost":
             class_name = self.function_name.split(".", 1)[0]
             return ActorLostError(self.actor_id, class_name, self.cause_repr)
+        if self.kind == "worker_crashed":
+            return WorkerCrashedError(
+                self.task_id, self.function_name, self.cause_repr
+            )
         return TaskError(
             self.task_id, self.function_name, self.cause_repr, self.traceback_text
         )

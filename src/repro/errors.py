@@ -59,7 +59,33 @@ class SchedulingError(ReproError):
 
 
 class WorkerCrashedError(ReproError):
-    """The worker executing a task died (node failure) before finishing."""
+    """The worker executing a task died before finishing.
+
+    On the ``proc`` backend a crashed worker *process* first triggers
+    lineage replay for the stateless task it was running (the task spec is
+    resubmitted to a surviving or replacement worker, up to the task's
+    ``max_reconstructions``); this error surfaces at ``get`` time only when
+    replay is disabled (``worker_crash_policy="fail"``) or the replay
+    budget is exhausted.
+
+    Attributes
+    ----------
+    task_id / function_name:
+        The task that was in flight when the worker died.
+    detail:
+        Human-readable context (crash policy, replay attempts).
+    """
+
+    def __init__(self, task_id=None, function_name: str = "", detail: str = "") -> None:
+        self.task_id = task_id
+        self.function_name = function_name
+        self.detail = detail
+        message = "worker crashed"
+        if function_name:
+            message = f"worker crashed while executing task {task_id} ({function_name})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
 
 
 class ActorLostError(ReproError):

@@ -101,7 +101,6 @@ class LocalRuntime:
         self,
         cluster: Optional[ClusterSpec] = None,
         seed: int = 0,
-        **_ignored: Any,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
         self.ids = IDGenerator(namespace=f"repro-local/{seed}")

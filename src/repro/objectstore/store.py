@@ -60,6 +60,11 @@ class LocalObjectStore:
     def num_objects(self) -> int:
         return len(self._data)
 
+    def object_ids(self) -> tuple:
+        """Resident object ids in LRU order, oldest first (introspection
+        for invariant checks; does not touch recency)."""
+        return tuple(self._data.keys())
+
     def put(self, object_id: ObjectID, data: bytes) -> None:
         """Insert serialized bytes, evicting LRU unpinned objects as needed.
 

@@ -1,0 +1,24 @@
+"""The multiprocess backend: true parallelism behind the same protocol.
+
+The threaded ``"local"`` backend executes for real but under one GIL, so
+CPU-bound tasks serialize.  This package implements ``"proc"``: a pool of
+worker *processes* (``multiprocessing`` spawn + duplex pipes) driven by
+the same shared core as every other backend — the effect interpreter
+drives submission, :class:`~repro.core.dependencies.DependencyTracker`
+gates readiness, objects cross an explicit serialization boundary with an
+inline-vs-store threshold, and actors pin their state to one worker
+process with ordered method delivery falling out of the dataflow chain.
+
+Layout:
+
+* :mod:`repro.proc.messages` — the pipe wire protocol.
+* :mod:`repro.proc.worker` — the child-process main loop and the proxy
+  runtime that serves nested ``.remote()``/``get``/``put`` calls made by
+  user code running inside a worker.
+* :mod:`repro.proc.runtime` — the driver-side :class:`ProcRuntime`
+  (scheduling, object store, actor table, crash recovery).
+"""
+
+from repro.proc.runtime import ProcRuntime
+
+__all__ = ["ProcRuntime"]

@@ -1,0 +1,57 @@
+"""Wire protocol between the proc driver and its worker processes.
+
+Each worker owns one duplex pipe.  Traffic is strictly alternating from
+the worker's point of view: the driver sends a task; while executing it
+the worker may issue any number of *requests* (fetch an argument, submit
+a nested task, block in ``get``/``wait``, ``put`` a value, create or call
+an actor), each answered by exactly one reply from the driver's per-worker
+service thread; the exchange ends with the worker's ``RESULT`` message.
+Because the worker is single-threaded, requests never interleave — the
+protocol needs no sequence numbers.
+
+Messages are tuples ``(tag, *payload)``.  Everything crossing the pipe is
+picklable by construction: user *code* is pre-serialized with
+:func:`~repro.utils.serialization.serialize_portable`, user *values* with
+plain pickle, and framework objects (ids, refs, resource requests,
+:class:`~repro.core.worker.ErrorValue`) are simple dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.ids import ObjectID
+
+# -- driver -> worker ---------------------------------------------------
+TASK = "task"          # (TASK, payload_dict): execute one task
+SHUTDOWN = "shutdown"  # (SHUTDOWN,): exit the worker loop
+
+# -- worker -> driver (task lifecycle) ----------------------------------
+RESULT = "result"      # (RESULT, result_bytes, failed): the task finished
+
+# -- worker -> driver (requests while a task runs) ----------------------
+FETCH = "fetch"                # (FETCH, object_id) -> (OK, bytes)
+SUBMIT = "submit"              # (SUBMIT, payload) -> (OK, ObjectRef)
+GET = "get"                    # (GET, [object_id], timeout) -> (OK, [bytes])
+WAIT = "wait"                  # (WAIT, [refs], num_returns, timeout) -> (OK, (ready, pending))
+PUT = "put"                    # (PUT, bytes) -> (OK, ObjectRef)
+CREATE_ACTOR = "create_actor"  # (CREATE_ACTOR, payload) -> (OK, ActorHandle)
+CALL_ACTOR = "call_actor"      # (CALL_ACTOR, payload) -> (OK, ObjectRef)
+
+# -- driver -> worker (replies) -----------------------------------------
+OK = "ok"    # (OK, value)
+ERR = "err"  # (ERR, exception): re-raised inside the worker at the call site
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """Placeholder for a task argument that was an :class:`ObjectRef`.
+
+    The driver substitutes one of these for every top-level ref argument
+    when building a task message; small objects ride along serialized in
+    the message's ``inline`` table, large ones stay in the driver store
+    and the worker fetches them on demand into its local cache (the
+    inline-vs-store threshold of :mod:`repro.utils.serialization`).
+    """
+
+    object_id: ObjectID

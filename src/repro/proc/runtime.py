@@ -1,0 +1,999 @@
+"""Driver-side runtime of the ``proc`` backend: real processes, real cores.
+
+Architecture (one instance = one pool):
+
+* ``num_workers`` child processes, each started with ``multiprocessing``'s
+  **spawn** method and connected by one duplex pipe.  Spawn (not fork)
+  keeps children free of inherited locks/threads and mirrors how real
+  cluster workers boot from nothing.
+* One **service thread** per worker on the driver side.  It pulls runnable
+  tasks (from the shared queue, or the worker's pinned queue for actor
+  tasks), ships them over the pipe, and then *serves* the worker's
+  requests — argument fetches, nested submissions, blocking ``get``/
+  ``wait``, ``put``, actor operations — until the result message arrives.
+  Service threads mostly sleep in ``recv``; user compute happens in the
+  children, outside the GIL, which is what makes this the first backend
+  where CPU-bound work actually scales with workers.
+* The shared core from the other backends does the semantics:
+  :class:`~repro.core.dependencies.DependencyTracker` gates readiness,
+  :mod:`repro.core.protocol` validates and unwraps, the actor-table
+  helpers in :mod:`repro.core.actors` chain ordered method delivery, and
+  results/arguments live as bytes in a
+  :class:`~repro.objectstore.store.LocalObjectStore` (results pinned —
+  they are the only replica).
+* **Crash recovery**: a dead worker process is detected by its service
+  thread (EOF on the pipe).  Stateless in-flight tasks are replayed from
+  their spec — lineage replay, up to ``max_reconstructions`` — while
+  actor tasks surface :class:`~repro.errors.ActorLostError`, mirroring
+  the sim backend's node-death semantics; a replacement worker is spawned
+  either way.  ``worker_crash_policy="fail"`` turns replay off and
+  surfaces :class:`~repro.errors.WorkerCrashedError` instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.actors import (
+    CREATION_METHOD,
+    ActorHandle,
+    ActorRegistry,
+    REMOTE_INSTANCE,
+    actor_lost_error_value,
+    build_call_spec,
+    build_creation_spec,
+    chain_submission,
+    handle_for,
+    register_instance,
+)
+from repro.core.dependencies import DependencyTracker
+from repro.core.object_ref import ObjectRef
+from repro.core.protocol import (
+    check_cluster_feasible,
+    normalize_get_refs,
+    partition_by_ready,
+    unwrap_value,
+    validate_wait_args,
+)
+from repro.core.task import ResourceRequest, TaskSpec
+from repro.core.worker import ErrorValue, error_value_from
+from repro.errors import (
+    BackendError,
+    GetTimeoutError,
+    ObjectLostError,
+    ReproError,
+)
+from repro.objectstore.store import LocalObjectStore
+from repro.proc import messages as msg
+from repro.proc.messages import SlotRef
+from repro.proc.worker import worker_main
+from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
+from repro.utils.serialization import (
+    ByteAccountant,
+    DEFAULT_INLINE_THRESHOLD,
+    deserialize_portable,
+    serialize,
+    serialize_portable,
+    should_inline,
+)
+
+#: Valid values of the ``worker_crash_policy`` init option.
+CRASH_POLICIES = ("replace", "fail")
+
+#: Exception types that survive a pickle round-trip over the worker pipe
+#: (their constructors accept the single message arg pickle replays).
+_PIPE_SAFE_ERRORS = (
+    BackendError,
+    GetTimeoutError,
+    ObjectLostError,
+    TypeError,
+    ValueError,
+)
+
+
+def _pipe_safe_error(tag: str, exc: BaseException) -> Exception:
+    """An exception instance that is safe to send to a worker.
+
+    Framework/validation errors pass through unchanged (their types
+    unpickle cleanly); anything else — including exceptions raised by
+    user payloads mid-deserialization — is wrapped in a
+    :class:`BackendError` carrying its repr, because an arbitrary
+    exception type may not unpickle in the child and would kill it."""
+    if type(exc) in _PIPE_SAFE_ERRORS:
+        return exc
+    return BackendError(f"worker request {tag!r} failed: {exc!r}")
+
+
+@dataclass
+class _WorkerHandle:
+    """Driver-side view of one worker process slot."""
+
+    index: int
+    node_id: NodeID
+    conn: Any = None
+    process: Any = None
+    thread: Optional[threading.Thread] = None
+    #: Actor tasks pinned to this worker (its actors' constructors and
+    #: method calls); drained before the shared queue.
+    pinned: deque = field(default_factory=deque)
+    #: Stack of specs executing in the child: the task it was handed plus
+    #: any pinned actor tasks running reentrantly while it blocks.
+    inflight: list = field(default_factory=list)
+    alive: bool = True
+    tasks_done: int = 0
+    actors_bound: int = 0
+
+
+class ProcRuntime:
+    """Multiprocess implementation of the backend protocol."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        seed: int = 0,
+        num_workers: Optional[int] = None,
+        worker_crash_policy: str = "replace",
+        inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
+        worker_cache_bytes: int = 64 * 1024**2,
+    ) -> None:
+        self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
+        if num_workers is None:
+            num_workers = self.cluster.total_cpus
+        if not isinstance(num_workers, int) or num_workers < 1:
+            raise BackendError(
+                f"invalid init option num_workers={num_workers!r} for backend "
+                "'proc'; must be a positive integer"
+            )
+        if worker_crash_policy not in CRASH_POLICIES:
+            raise BackendError(
+                f"invalid init option worker_crash_policy="
+                f"{worker_crash_policy!r} for backend 'proc'; valid values: "
+                f"{list(CRASH_POLICIES)}"
+            )
+        if inline_threshold < 0 or worker_cache_bytes <= 0:
+            raise BackendError(
+                "invalid init option for backend 'proc': inline_threshold "
+                "must be >= 0 and worker_cache_bytes > 0"
+            )
+        self.seed = seed
+        self.ids = IDGenerator(namespace=f"repro-proc/{seed}")
+        self.closed = False
+        self._crash_policy = worker_crash_policy
+        self._inline_threshold = inline_threshold
+        self._worker_cache_bytes = worker_cache_bytes
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+
+        #: Driver object store: the single home of every produced object,
+        #: bytes-first, shared with the workers through fetch/inline.
+        self.head_node_id = self.ids.node_id()
+        self._store = LocalObjectStore(
+            self.head_node_id,
+            capacity=sum(n.object_store_capacity for n in self.cluster.nodes),
+        )
+        self._deps = DependencyTracker()
+        self._functions: dict[FunctionID, Callable] = {}
+        self.actors = ActorRegistry()
+
+        #: Stateless runnable tasks, drained by whichever worker idles first.
+        self._queue: deque = deque()
+        self._workers: list[_WorkerHandle] = []
+        self._by_node: dict[NodeID, _WorkerHandle] = {}
+        self._fn_cache: dict[FunctionID, bytes] = {}
+        self._replays: dict[Any, int] = {}
+
+        self._tasks_executed = 0
+        self._workers_crashed = 0
+        self._lineage_replays = 0
+        self._acct_inline = ByteAccountant()
+        self._acct_stored = ByteAccountant()
+        self._acct_fetched = ByteAccountant()
+        self._acct_results = ByteAccountant()
+
+        self._mp = multiprocessing.get_context("spawn")
+        with self._cond:
+            for index in range(num_workers):
+                self._workers.append(None)  # type: ignore[arg-type]
+                self._spawn_worker(index)
+        self.node_ids = [self.head_node_id]
+
+    # ------------------------------------------------------------------
+    # Backend protocol: registration and submission
+    # ------------------------------------------------------------------
+
+    def register_function(self, function: Callable, name: str) -> FunctionID:
+        function_id = self.ids.function_id()
+        with self._cond:
+            self._functions[function_id] = function
+        return function_id
+
+    def submit_task(
+        self,
+        function: Callable,
+        function_id: FunctionID,
+        function_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        duration: Any = None,          # modeled durations are a sim concept
+        placement_hint: Optional[NodeID] = None,
+        max_reconstructions: int = 3,
+    ) -> ObjectRef:
+        self._check_open()
+        check_cluster_feasible(self.cluster, resources, function_name)
+        with self._cond:
+            spec = TaskSpec(
+                task_id=self.ids.task_id(),
+                function_id=function_id,
+                function_name=function_name,
+                function=function,
+                args=tuple(args),
+                kwargs=dict(kwargs),
+                return_object_id=self.ids.object_id(),
+                resources=resources,
+                duration=duration,
+                placement_hint=placement_hint,
+                max_reconstructions=max_reconstructions,
+            )
+            return self._submit_spec(spec)
+
+    def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
+        """Gate on unproduced dependencies, else enqueue (lock held)."""
+        missing = {
+            dep for dep in spec.dependencies() if not self._store.contains(dep)
+        }
+        if missing:
+            self._deps.add(spec, missing)
+        else:
+            self._enqueue(spec)
+        self._cond.notify_all()
+        return spec.result_ref()
+
+    def _enqueue(self, spec: TaskSpec) -> None:
+        """Route a runnable spec to its queue (lock held)."""
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            home = self._by_node.get(record.node_id) if record is not None else None
+            if record is not None and not record.dead and home is not None and home.alive:
+                home.pinned.append(spec)
+                return
+            # Dead/unknown actor: any service thread may resolve it to an
+            # error through the pre-dispatch check.
+        self._queue.append(spec)
+
+    # ------------------------------------------------------------------
+    # Actor protocol
+    # ------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        actor_class: type,
+        class_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources: ResourceRequest,
+        placement_hint: Optional[NodeID] = None,
+    ) -> ActorHandle:
+        """Create a process-pinned actor; returns its handle immediately.
+
+        The constructor runs on the chosen worker process and the live
+        instance stays there; every method call follows it (ordered by the
+        dataflow chain, like every other backend).
+        """
+        self._check_open()
+        check_cluster_feasible(
+            self.cluster, resources, f"{class_name}.{CREATION_METHOD}"
+        )
+        with self._cond:
+            actor_id = self.ids.actor_id()
+            spec = build_creation_spec(
+                self.ids, actor_id, actor_class, class_name, args, kwargs,
+                resources, self.head_node_id, placement_hint=placement_hint,
+            )
+            home = self._choose_worker_for_actor(placement_hint)
+            spec.placement_hint = home.node_id
+            record = self.actors.create(actor_id, class_name, resources, home.node_id)
+            home.actors_bound += 1
+            chain_submission(record, spec)
+            handle = handle_for(record, actor_class)
+            self._submit_spec(spec)
+        return handle
+
+    def call_actor(
+        self,
+        actor_id: ActorID,
+        method_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> ObjectRef:
+        """Submit one actor method invocation; returns its future.
+
+        The ordering dependency on the previous call's result object is
+        what serializes the actor's methods — no per-actor lock exists,
+        and the pinned queue only routes, never orders.
+        """
+        self._check_open()
+        with self._cond:
+            record = self.actors.get(actor_id)
+            if record is None:
+                raise BackendError(f"unknown actor {actor_id}")
+            spec = build_call_spec(
+                self.ids, record, method_name, args, kwargs, self.head_node_id
+            )
+            chain_submission(record, spec)
+            return self._submit_spec(spec)
+
+    def _choose_worker_for_actor(
+        self, placement_hint: Optional[NodeID]
+    ) -> _WorkerHandle:
+        """Fewest actors first, stable tie-break by index (lock held)."""
+        if placement_hint is not None:
+            hinted = self._by_node.get(placement_hint)
+            if hinted is not None and hinted.alive:
+                return hinted
+        alive = [w for w in self._workers if w.alive]
+        if not alive:
+            raise BackendError("no live workers to host the actor")
+        return min(alive, key=lambda w: (w.actors_bound, w.index))
+
+    # ------------------------------------------------------------------
+    # Blocking primitives
+    # ------------------------------------------------------------------
+
+    def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
+        self._check_open()
+        ref_list, single = normalize_get_refs(refs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        values = []
+        for ref in ref_list:
+            data = self._wait_for_object(ref.object_id, deadline)
+            values.append(unwrap_value(data))
+        return values[0] if single else values
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        self._check_open()
+        ref_list = list(refs)
+        validate_wait_args(ref_list, num_returns)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                ready = [r for r in ref_list if self._store.contains(r.object_id)]
+                if len(ready) >= num_returns:
+                    break
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(timeout=remaining)
+            ready_ids = {
+                r.object_id for r in ref_list if self._store.contains(r.object_id)
+            }
+        return partition_by_ready(ref_list, lambda r: r.object_id in ready_ids)
+
+    def put(self, value: Any) -> ObjectRef:
+        self._check_open()
+        data = serialize(value)
+        with self._cond:
+            object_id = self.ids.object_id()
+            self._store_bytes(object_id, data)
+        return ObjectRef(object_id)
+
+    def sleep(self, duration: float) -> None:
+        time.sleep(duration)
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds (monotonic)."""
+        return time.monotonic()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "tasks_executed": self._tasks_executed,
+                "objects_stored": self._store.num_objects,
+                "object_store_bytes": self._store.used_bytes,
+                "tasks_waiting": len(self._deps),
+                "actors_created": len(self.actors),
+                "num_workers": sum(1 for w in self._workers if w.alive),
+                "workers_crashed": self._workers_crashed,
+                "lineage_replays": self._lineage_replays,
+                "args_inlined": self._acct_inline.snapshot(),
+                "args_stored": self._acct_stored.snapshot(),
+                "args_fetched": self._acct_fetched.snapshot(),
+                "results_shipped": self._acct_results.snapshot(),
+            }
+
+    # ------------------------------------------------------------------
+    # Fault injection / introspection
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, index: int) -> None:
+        """Fault injection: SIGKILL one worker process (the ``proc``
+        analogue of the sim backend's ``kill_node``).  Detection happens
+        on the worker's pipe; recovery follows ``worker_crash_policy``."""
+        with self._cond:
+            self._check_open()
+            if not 0 <= index < len(self._workers):
+                raise ValueError(f"no worker with index {index}")
+            worker = self._workers[index]
+        worker.process.kill()
+
+    def worker_for_actor(self, actor_id: ActorID) -> Optional[int]:
+        """Index of the worker process hosting an actor (tests/tools)."""
+        with self._cond:
+            record = self.actors.get(actor_id)
+            if record is None:
+                raise BackendError(f"unknown actor {actor_id}")
+            home = self._by_node.get(record.node_id)
+            return home.index if home is not None else None
+
+    def worker_pids(self) -> list:
+        """PIDs of the live worker processes."""
+        with self._cond:
+            return [w.process.pid for w in self._workers if w.alive]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BackendError("runtime is shut down")
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        with self._cond:
+            self.closed = True
+            workers = [w for w in self._workers if w is not None]
+            busy = [w for w in workers if w.alive and w.inflight]
+            self._cond.notify_all()
+        # Busy children may be deep in user code (even sleeping forever):
+        # kill them; idle ones get a graceful shutdown from their service
+        # thread, which wakes on ``closed`` and owns the pipe's send side.
+        for worker in busy:
+            worker.process.kill()
+        for worker in workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout=5.0)
+        for worker in workers:
+            if worker.process is not None:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker pool internals
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        """Start one child process + its service thread (lock held)."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        worker = _WorkerHandle(
+            index=index, node_id=self.ids.node_id(), conn=parent_conn
+        )
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, index, self.seed, self._worker_cache_bytes),
+            name=f"repro-proc-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        worker.process = process
+        self._workers[index] = worker
+        self._by_node[worker.node_id] = worker
+        thread = threading.Thread(
+            target=self._service_loop,
+            args=(worker,),
+            name=f"repro-proc-service-{index}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+        return worker
+
+    def _service_loop(self, worker: _WorkerHandle) -> None:
+        """Feed one worker process and serve its requests until shutdown."""
+        while True:
+            spec = self._next_task(worker)
+            if spec is None:
+                try:
+                    worker.conn.send((msg.SHUTDOWN,))
+                except OSError:
+                    pass
+                return
+            try:
+                self._execute_remote(worker, spec)
+            except (EOFError, OSError) as exc:
+                self._handle_worker_crash(worker, spec, exc)
+                return  # a replacement thread owns the slot now
+
+    def _next_task(self, worker: _WorkerHandle) -> Optional[TaskSpec]:
+        """Block until a task is available for this worker (or shutdown)."""
+        with self._cond:
+            while True:
+                if self.closed or not worker.alive:
+                    return None
+                spec = None
+                if worker.pinned:
+                    spec = worker.pinned.popleft()
+                elif self._queue:
+                    spec = self._queue.popleft()
+                if spec is None:
+                    self._cond.wait()
+                    continue
+                if spec.actor_id is not None:
+                    spec = self._claim_actor_spec(worker, spec)
+                    if spec is None:
+                        continue
+                worker.inflight.append(spec)
+                return spec
+
+    def _claim_actor_spec(
+        self, worker: _WorkerHandle, spec: TaskSpec
+    ) -> Optional[TaskSpec]:
+        """Pre-dispatch checks for an actor task (lock held): resolve it
+        to an error if its actor is dead/unbound, bounce it to its own
+        worker if it was re-homed, else claim it for ``worker``."""
+        error = self._actor_predispatch_error(spec)
+        if error is not None:
+            self._store_bytes(spec.return_object_id, serialize(error))
+            return None
+        record = self.actors.get(spec.actor_id)
+        if record.node_id != worker.node_id:
+            self._enqueue(spec)
+            self._cond.notify_all()
+            return None
+        return spec
+
+    def _actor_predispatch_error(self, spec: TaskSpec) -> Optional[ErrorValue]:
+        """Driver-side half of ``resolve_actor_callable`` (lock held):
+        liveness checks that cannot wait for the worker, with identical
+        error text to the other backends."""
+        record = self.actors.get(spec.actor_id)
+        if record is None:
+            return ErrorValue(
+                task_id=spec.task_id,
+                function_name=spec.function_name,
+                cause_repr=f"unknown actor {spec.actor_id}",
+                chain=(spec.function_name,),
+            )
+        if record.dead:
+            return actor_lost_error_value(spec, record)
+        if spec.actor_method != CREATION_METHOD and record.instance is None:
+            return ErrorValue(
+                task_id=spec.task_id,
+                function_name=spec.function_name,
+                cause_repr=(
+                    f"actor {record.class_name} has no live instance "
+                    "(its constructor failed or was lost)"
+                ),
+                chain=(spec.function_name,),
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # One task on one worker
+    # ------------------------------------------------------------------
+
+    def _execute_remote(self, worker: _WorkerHandle, spec: TaskSpec) -> None:
+        """Ship a task, serve the worker's requests, store the result.
+
+        Pipe failures propagate to the caller (crash handling); anything
+        unserializable resolves the task to an error value instead."""
+        try:
+            payload = self._build_payload(spec)
+        except (TypeError, ReproError) as exc:
+            with self._cond:
+                worker.inflight.remove(spec)
+                self._store_bytes(
+                    spec.return_object_id, serialize(error_value_from(spec, exc))
+                )
+            return
+        worker.conn.send((msg.TASK, payload))
+        while True:
+            message = worker.conn.recv()
+            if message[0] == msg.RESULT:
+                self._finish_task(worker, spec, message[1], failed=message[2])
+                return
+            self._serve_rpc(worker, message)
+
+    def _dispatch_nested(self, worker: _WorkerHandle, spec: TaskSpec) -> None:
+        """Run one pinned actor task *inside* a worker that is currently
+        blocked awaiting an RPC reply (it executes reentrantly there)."""
+        with self._cond:
+            worker.inflight.append(spec)
+        self._execute_remote(worker, spec)
+
+    def _build_payload(self, spec: TaskSpec) -> dict:
+        """Resolve ref arguments into inline blobs or store markers."""
+        inline: dict[ObjectID, bytes] = {}
+        with self._cond:
+            def slot(value: Any) -> Any:
+                if not isinstance(value, ObjectRef):
+                    return value
+                data = self._store.get(value.object_id)
+                if data is None:
+                    raise ObjectLostError(
+                        f"argument object {value.object_id} is no longer in "
+                        "the driver store"
+                    )
+                if should_inline(len(data), self._inline_threshold):
+                    inline[value.object_id] = data
+                    self._acct_inline.record(len(data))
+                else:
+                    self._acct_stored.record(len(data))
+                return SlotRef(value.object_id)
+
+            args_template = tuple(slot(value) for value in spec.args)
+            kwargs_template = {
+                key: slot(value) for key, value in spec.kwargs.items()
+            }
+        payload = {
+            "task_id": spec.task_id,
+            "function_id": spec.function_id,
+            "function_name": spec.function_name,
+            "return_object_id": spec.return_object_id,
+            "call_bytes": serialize_portable((args_template, kwargs_template)),
+            "inline": inline,
+        }
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            payload["actor_id"] = spec.actor_id
+            payload["method"] = spec.actor_method
+            payload["class_name"] = record.class_name if record else spec.function_name
+            payload["resources"] = spec.resources
+            if spec.actor_method == CREATION_METHOD:
+                payload["function_bytes"] = self._function_bytes(spec)
+        else:
+            payload["function_bytes"] = self._function_bytes(spec)
+        return payload
+
+    def _function_bytes(self, spec: TaskSpec) -> bytes:
+        cached = self._fn_cache.get(spec.function_id)
+        if cached is None:
+            function = spec.function
+            if function is None:
+                with self._cond:
+                    function = self._functions.get(spec.function_id)
+            if function is None:
+                raise BackendError(
+                    f"function {spec.function_name!r} not registered"
+                )
+            cached = serialize_portable(function)
+            self._fn_cache[spec.function_id] = cached
+        return cached
+
+    def _finish_task(
+        self, worker: _WorkerHandle, spec: TaskSpec, data: bytes, failed: bool
+    ) -> None:
+        with self._cond:
+            worker.inflight.remove(spec)
+            worker.tasks_done += 1
+            self._tasks_executed += 1
+            self._acct_results.record(len(data))
+            if spec.actor_id is not None:
+                record = self.actors.get(spec.actor_id)
+                if record is not None and not record.dead and not failed:
+                    if spec.actor_method == CREATION_METHOD:
+                        # The live instance exists in the worker process;
+                        # the driver records only that binding.
+                        register_instance(record, REMOTE_INSTANCE, worker.node_id)
+                    else:
+                        record.methods_executed += 1
+            try:
+                self._store_bytes(spec.return_object_id, data)
+            except ReproError as exc:
+                # Store full: keep consumers unblocked with a tiny marker.
+                self._store_bytes(
+                    spec.return_object_id,
+                    serialize(error_value_from(spec, exc)),
+                )
+
+    # ------------------------------------------------------------------
+    # Worker request service
+    # ------------------------------------------------------------------
+
+    def _serve_rpc(self, worker: _WorkerHandle, message: tuple) -> None:
+        tag = message[0]
+        try:
+            if tag == msg.FETCH:
+                reply = self._fetch_bytes(message[1])
+            elif tag == msg.SUBMIT:
+                reply = self._submit_from_worker(message[1])
+            elif tag == msg.GET:
+                reply = self._serve_get(worker, message[1], message[2])
+            elif tag == msg.WAIT:
+                reply = self._serve_wait(
+                    worker, message[1], message[2], message[3]
+                )
+            elif tag == msg.PUT:
+                reply = self._put_bytes(message[1])
+            elif tag == msg.CREATE_ACTOR:
+                reply = self._create_actor_from_worker(message[1])
+            elif tag == msg.CALL_ACTOR:
+                payload = message[1]
+                args, kwargs = deserialize_portable(payload["call_bytes"])
+                reply = self.call_actor(
+                    payload["actor_id"], payload["method"], args, kwargs
+                )
+            else:
+                raise BackendError(f"unknown worker message {tag!r}")
+        except (EOFError, OSError):
+            raise  # pipe failure: crash handling, not an error reply
+        except BaseException as exc:  # noqa: BLE001 - user payloads can
+            # raise anything (hostile __setstate__, unpicklable args); the
+            # service thread must survive and answer, or the parked child
+            # process is stranded forever with no crash to detect.
+            worker.conn.send((msg.ERR, _pipe_safe_error(tag, exc)))
+        else:
+            worker.conn.send((msg.OK, reply))
+
+    def _fetch_bytes(self, object_id: ObjectID) -> bytes:
+        with self._cond:
+            data = self._store.get(object_id)
+            if data is None:
+                raise ObjectLostError(
+                    f"object {object_id} is not resident in the driver store"
+                )
+            self._acct_fetched.record(len(data))
+            return data
+
+    def _serve_get(
+        self, worker: _WorkerHandle, object_ids: list, timeout: Optional[float]
+    ) -> list:
+        """A worker-side ``get``: like the driver's, but while blocked it
+        keeps the worker's pinned actor queue moving (see
+        :meth:`_wait_serving`) so an actor task cannot deadlock against
+        the very worker that must run it."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        blobs = []
+        for object_id in object_ids:
+            arrived = self._wait_serving(
+                worker,
+                lambda oid=object_id: self._store.contains(oid),
+                deadline,
+            )
+            if not arrived:
+                raise GetTimeoutError(f"get timed out waiting for {object_id}")
+            with self._cond:
+                blobs.append(self._store.get(object_id))
+        return blobs
+
+    def _serve_wait(
+        self,
+        worker: _WorkerHandle,
+        refs: Sequence[ObjectRef],
+        num_returns: int,
+        timeout: Optional[float],
+    ) -> tuple:
+        """A worker-side ``wait``; same pinned-queue service as get."""
+        ref_list = list(refs)
+        validate_wait_args(ref_list, num_returns)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._wait_serving(
+            worker,
+            lambda: sum(
+                1 for r in ref_list if self._store.contains(r.object_id)
+            ) >= num_returns,
+            deadline,
+        )
+        with self._cond:
+            ready_ids = {
+                r.object_id for r in ref_list if self._store.contains(r.object_id)
+            }
+        return partition_by_ready(ref_list, lambda r: r.object_id in ready_ids)
+
+    def _wait_serving(
+        self,
+        worker: _WorkerHandle,
+        predicate: Callable[[], bool],
+        deadline: Optional[float],
+    ) -> bool:
+        """Block until ``predicate()`` holds (True) or the deadline passes
+        (False), dispatching the worker's pinned actor tasks in the
+        meantime.
+
+        ``worker``'s child process is parked in ``recv`` awaiting our
+        reply, so tasks pinned to it — possibly the very ones the blocked
+        task is getting — can only run if we feed them to it now; the
+        child executes them reentrantly (see ``ProcWorker.rpc``)."""
+        while True:
+            nested: Optional[TaskSpec] = None
+            with self._cond:
+                while True:
+                    if predicate():
+                        return True
+                    if worker.pinned:
+                        claimed = self._claim_actor_spec(
+                            worker, worker.pinned.popleft()
+                        )
+                        if claimed is not None:
+                            nested = claimed
+                            break
+                        continue
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._cond.wait(timeout=remaining)
+            self._dispatch_nested(worker, nested)
+
+    def _put_bytes(self, data: bytes) -> ObjectRef:
+        with self._cond:
+            object_id = self.ids.object_id()
+            self._store_bytes(object_id, data)
+        return ObjectRef(object_id)
+
+    def _submit_from_worker(self, payload: dict) -> ObjectRef:
+        function = deserialize_portable(payload["function_bytes"])
+        args, kwargs = deserialize_portable(payload["call_bytes"])
+        return self.submit_task(
+            function=function,
+            function_id=self.ids.function_id(),
+            function_name=payload["function_name"],
+            args=args,
+            kwargs=kwargs,
+            resources=payload["resources"],
+            placement_hint=payload.get("placement_hint"),
+            max_reconstructions=payload.get("max_reconstructions", 3),
+        )
+
+    def _create_actor_from_worker(self, payload: dict) -> ActorHandle:
+        actor_class = deserialize_portable(payload["class_bytes"])
+        args, kwargs = deserialize_portable(payload["call_bytes"])
+        return self.create_actor(
+            actor_class=actor_class,
+            class_name=payload["class_name"],
+            args=args,
+            kwargs=kwargs,
+            resources=payload["resources"],
+            placement_hint=payload.get("placement_hint"),
+        )
+
+    # ------------------------------------------------------------------
+    # Object store plumbing
+    # ------------------------------------------------------------------
+
+    def _store_bytes(self, object_id: ObjectID, data: bytes) -> None:
+        """Insert a result object and wake dependents/waiters (lock held).
+
+        Results are pinned: the driver store is their only replica, so
+        LRU pressure must evict nothing (capacity overflow surfaces as
+        ObjectStoreFullError instead of a silent loss)."""
+        self._store.put(object_id, data)
+        self._store.pin(object_id)
+        for spec in self._deps.mark_ready(object_id):
+            self._enqueue(spec)
+        self._cond.notify_all()
+
+    def _wait_for_object(self, object_id: ObjectID, deadline: Optional[float]) -> bytes:
+        with self._cond:
+            while not self._store.contains(object_id):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise GetTimeoutError(
+                            f"get timed out waiting for {object_id}"
+                        )
+                self._cond.wait(timeout=remaining)
+            return self._store.get(object_id)
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+
+    def _handle_worker_crash(
+        self, worker: _WorkerHandle, inflight: Optional[TaskSpec], exc: BaseException
+    ) -> None:
+        """A worker process died (EOF/error on its pipe).
+
+        Mirrors the sim backend's node-death semantics: actors whose state
+        lived there are lost for good (ActorLostError), stateless tasks
+        are replayed from their spec (lineage), and the pool heals by
+        spawning a replacement process into the same slot."""
+        with self._cond:
+            if self.closed or not worker.alive:
+                return
+            worker.alive = False
+            # Everything on the reentrant stack died with the process, not
+            # just the spec the crashing frame was driving.
+            doomed = list(worker.inflight)
+            if inflight is not None and inflight not in doomed:
+                doomed.append(inflight)
+            worker.inflight.clear()
+            self._workers_crashed += 1
+            self._by_node.pop(worker.node_id, None)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self.actors.mark_dead_on_node(worker.node_id)
+            for spec in doomed:
+                self._resolve_crashed_task(spec)
+            rehome: list[TaskSpec] = []
+            while worker.pinned:
+                spec = worker.pinned.popleft()
+                record = self.actors.get(spec.actor_id) if spec.actor_id else None
+                if record is not None and record.dead:
+                    self._store_bytes(
+                        spec.return_object_id,
+                        serialize(actor_lost_error_value(spec, record)),
+                    )
+                elif record is not None:
+                    rehome.append(spec)  # constructor never ran: recoverable
+                else:
+                    self._queue.append(spec)
+            replacement = self._spawn_worker(worker.index)
+            # Every surviving actor record still homed on the dead node is
+            # an unconstructed actor (mark_dead_on_node killed the rest) —
+            # re-point them all at the replacement, including those whose
+            # creation spec is still *parked* in the DependencyTracker:
+            # when it becomes runnable, _enqueue routes by record.node_id,
+            # and a stale pointer would make it bounce between service
+            # threads forever.
+            for record in self.actors.alive_on_node(worker.node_id):
+                record.node_id = replacement.node_id
+                replacement.actors_bound += 1
+            for spec in rehome:
+                spec.placement_hint = replacement.node_id
+                replacement.pinned.append(spec)
+            self._cond.notify_all()
+
+    def _resolve_crashed_task(self, spec: TaskSpec) -> None:
+        """Decide the fate of the task in flight on a dead worker (lock held)."""
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            if record is not None:
+                if not record.dead:
+                    # The constructor was mid-run: its half-built state
+                    # died with the process.
+                    record.dead = True
+                    record.instance = None
+                self._store_bytes(
+                    spec.return_object_id,
+                    serialize(actor_lost_error_value(spec, record)),
+                )
+            return
+        attempts = self._replays.get(spec.task_id, 0)
+        if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
+            self._replays[spec.task_id] = attempts + 1
+            self._lineage_replays += 1
+            self._queue.append(spec)
+            return
+        if self._crash_policy == "fail":
+            detail = "worker_crash_policy='fail' disables lineage replay"
+        else:
+            detail = (
+                f"lineage replay budget exhausted "
+                f"({attempts}/{spec.max_reconstructions} reconstructions)"
+            )
+        error = ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=detail,
+            chain=(spec.function_name,),
+            kind="worker_crashed",
+        )
+        self._store_bytes(spec.return_object_id, serialize(error))

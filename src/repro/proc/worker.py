@@ -1,0 +1,384 @@
+"""Worker-process side of the ``proc`` backend.
+
+One :class:`ProcWorker` runs per child process: a synchronous loop that
+receives task messages over its pipe, executes them, and sends results
+back.  Everything user code can do inside a task — nested ``.remote()``
+calls, ``repro.get``/``wait``/``put``, actor creation and calls, the
+generator effect vocabulary — is served by :class:`WorkerRuntime`, a
+proxy implementing the backend surface via requests to the driver's
+per-worker service thread.
+
+The worker shares the execution-side semantics of the other backends
+through the core modules: :func:`~repro.core.actors.resolve_actor_callable`
+maps actor tasks to callables with identical error text,
+:func:`~repro.core.effect_driver.run_effect_loop_sync` drives generator
+bodies, and failures are captured as
+:class:`~repro.core.worker.ErrorValue`\\ s exactly like a thread or a
+simulated worker would.  Large arguments are cached in a per-worker
+:class:`~repro.objectstore.store.LocalObjectStore` (the same LRU
+byte-store used on every node of the simulated cluster), pinned while the
+task runs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Optional, Sequence
+
+from repro.core.actors import (
+    CREATION_METHOD,
+    ActorRegistry,
+    call_from_effect,
+    create_from_effect,
+    register_instance,
+    resolve_actor_callable,
+)
+from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
+from repro.core.object_ref import ObjectRef
+from repro.core.protocol import normalize_get_refs, unwrap_value, validate_wait_args
+from repro.core.task import TaskSpec
+from repro.core.worker import ErrorValue, error_value_from, propagate_error
+from repro.errors import ReproError
+from repro.objectstore.store import LocalObjectStore
+from repro.proc import messages as msg
+from repro.proc.messages import SlotRef
+from repro.utils.ids import IDGenerator, NodeID
+from repro.utils.serialization import (
+    deserialize,
+    deserialize_portable,
+    serialize,
+    serialize_portable,
+)
+
+
+class _ProcEffectHandler(EffectHandler):
+    """Bind the effect vocabulary to driver round-trips (blocking, real)."""
+
+    def __init__(self, worker: "ProcWorker") -> None:
+        self.worker = worker
+
+    def on_compute(self, item) -> None:
+        time.sleep(item.duration)
+
+    def on_get(self, item) -> Any:
+        return self.worker.proxy.get(item.refs)
+
+    def on_wait(self, item) -> tuple:
+        return self.worker.proxy.wait(
+            list(item.refs), num_returns=item.num_returns, timeout=item.timeout
+        )
+
+    def on_put(self, item) -> ObjectRef:
+        return self.worker.proxy.put(item.value)
+
+    def on_actor_create(self, item):
+        return create_from_effect(self.worker.proxy, item)
+
+    def on_actor_call(self, item) -> ObjectRef:
+        return call_from_effect(self.worker.proxy, item)
+
+
+class WorkerRuntime:
+    """The backend surface visible to user code inside a worker process.
+
+    Mirrors the driver-side :class:`~repro.proc.runtime.ProcRuntime`
+    method-for-method, but every operation is a request over the pipe.
+    Installed as the process's current runtime so ``repro.get``,
+    ``fn.remote`` and actor handles work unchanged inside task bodies.
+    """
+
+    def __init__(self, worker: "ProcWorker") -> None:
+        self._worker = worker
+        self.closed = False
+        self.ids = IDGenerator(namespace=f"repro-proc-worker/{worker.index}")
+
+    # Function registration is local: the function itself ships by value
+    # with every submission, so the driver never needs this id to resolve
+    # anything — it only keys RemoteFunction's per-runtime registration.
+    def register_function(self, function, name: str):
+        return self.ids.function_id()
+
+    def submit_task(
+        self,
+        function,
+        function_id,
+        function_name: str,
+        args: tuple,
+        kwargs: dict,
+        resources,
+        duration: Any = None,
+        placement_hint=None,
+        max_reconstructions: int = 3,
+    ) -> ObjectRef:
+        payload = {
+            "function_bytes": serialize_portable(function),
+            "function_name": function_name,
+            "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
+            "resources": resources,
+            "placement_hint": placement_hint,
+            "max_reconstructions": max_reconstructions,
+        }
+        return self._worker.rpc(msg.SUBMIT, payload)
+
+    def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
+        ref_list, single = normalize_get_refs(refs)
+        blobs = self._worker.rpc(
+            msg.GET, [ref.object_id for ref in ref_list], timeout
+        )
+        values = [unwrap_value(data) for data in blobs]
+        return values[0] if single else values
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        ref_list = list(refs)
+        validate_wait_args(ref_list, num_returns)
+        return self._worker.rpc(msg.WAIT, ref_list, num_returns, timeout)
+
+    def put(self, value: Any) -> ObjectRef:
+        return self._worker.rpc(msg.PUT, serialize(value))
+
+    def create_actor(
+        self, actor_class, class_name, args, kwargs, resources, placement_hint=None
+    ):
+        payload = {
+            "class_bytes": serialize_portable(actor_class),
+            "class_name": class_name,
+            "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
+            "resources": resources,
+            "placement_hint": placement_hint,
+        }
+        return self._worker.rpc(msg.CREATE_ACTOR, payload)
+
+    def call_actor(self, actor_id, method_name: str, args, kwargs) -> ObjectRef:
+        payload = {
+            "actor_id": actor_id,
+            "method": method_name,
+            "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
+        }
+        return self._worker.rpc(msg.CALL_ACTOR, payload)
+
+    def sleep(self, duration: float) -> None:
+        time.sleep(duration)
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def stats(self) -> dict:
+        return {}
+
+    def shutdown(self) -> None:  # the driver owns the lifecycle
+        pass
+
+
+class ProcWorker:
+    """One child process: executes tasks and hosts pinned actor state."""
+
+    def __init__(self, conn, index: int, seed: int, cache_capacity: int) -> None:
+        self.conn = conn
+        self.index = index
+        self.node_id = NodeID.from_seed(f"repro-proc/{seed}/worker/{index}")
+        #: LRU byte-cache of fetched (non-inline) arguments; immutable
+        #: objects make invalidation a non-problem.
+        self.cache = LocalObjectStore(self.node_id, capacity=cache_capacity)
+        #: Actors whose state lives in this process.
+        self.actors = ActorRegistry()
+        self.proxy = WorkerRuntime(self)
+        self._effect_handler = _ProcEffectHandler(self)
+        self.tasks_executed = 0
+
+    # ------------------------------------------------------------------
+    # Driver round-trips
+    # ------------------------------------------------------------------
+
+    def rpc(self, tag: str, *parts: Any) -> Any:
+        """One request/reply exchange with the driver.
+
+        While we are parked waiting for the reply (a blocking ``get`` or
+        ``wait``), the driver may interleave *task* messages for actors
+        pinned to this process: the task the current one is blocked on may
+        only be runnable here.  Those run reentrantly on this stack —
+        the process was idle-blocked anyway — and the exchange then
+        resumes.  This is the proc analogue of blocked sim workers
+        releasing their resource slots (R3)."""
+        self.conn.send((tag,) + parts)
+        while True:
+            reply = self.conn.recv()
+            if reply[0] == msg.TASK:
+                data, failed = self.execute(reply[1])
+                self.conn.send((msg.RESULT, data, failed))
+                continue
+            if reply[0] == msg.ERR:
+                raise reply[1]
+            return reply[1]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        from repro.api import runtime_context
+
+        # Nested .remote()/get/put calls inside task bodies resolve the
+        # current runtime; in this process that is the driver proxy.
+        runtime_context._current_runtime = self.proxy
+        try:
+            while True:
+                message = self.conn.recv()
+                tag = message[0]
+                if tag == msg.SHUTDOWN:
+                    return
+                if tag == msg.TASK:
+                    data, failed = self.execute(message[1])
+                    self.conn.send((msg.RESULT, data, failed))
+        except (EOFError, OSError, KeyboardInterrupt):
+            return  # driver went away (shutdown or crash): just exit
+        finally:
+            runtime_context._current_runtime = None
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+
+    def execute(self, payload: dict) -> tuple:
+        """Run one task message to completion.
+
+        Returns ``(result_bytes, failed)``: the serialized result (an
+        :class:`ErrorValue` when anything went wrong) plus the flag the
+        driver needs for actor bookkeeping — shipped alongside so the
+        driver never has to deserialize the payload to learn it."""
+        spec = TaskSpec(
+            task_id=payload["task_id"],
+            function_id=payload["function_id"],
+            function_name=payload["function_name"],
+            return_object_id=payload["return_object_id"],
+            actor_id=payload.get("actor_id"),
+            actor_method=payload.get("method"),
+        )
+        pinned: list = []
+        try:
+            try:
+                args, kwargs, upstream = self._resolve_call(payload, pinned)
+            except ReproError as exc:
+                # An argument could not be materialized (e.g. lost in the
+                # driver store): the task must still produce a result.
+                return self._pack(spec, error_value_from(spec, exc))
+            if upstream is not None:
+                result = propagate_error(upstream, spec)
+            elif spec.actor_id is not None:
+                result = self._execute_actor(spec, payload, args, kwargs)
+            else:
+                result = self._execute_function(spec, payload, args, kwargs)
+            self.tasks_executed += 1
+            return self._pack(spec, result)
+        finally:
+            for object_id in pinned:
+                self.cache.unpin(object_id)
+
+    def _pack(self, spec: TaskSpec, result: Any) -> tuple:
+        """Serialize a result into ``(bytes, failed)``.  ``serialize``
+        wraps every pickling failure (PicklingError, recursion, weird
+        user __reduce__) in TypeError, so this cannot let an unpicklable
+        return crash the worker."""
+        try:
+            data = serialize(result)
+        except TypeError as exc:
+            result = error_value_from(spec, exc)
+            data = serialize(result)
+        return data, isinstance(result, ErrorValue)
+
+    def _resolve_call(self, payload: dict, pinned: list):
+        """Materialize argument slots into values (inline, cache, or fetch).
+
+        Returns ``(args, kwargs, upstream_error)`` exactly like the other
+        backends' workers: an upstream :class:`ErrorValue` skips execution
+        and propagates as this task's result.
+        """
+        args_template, kwargs_template = deserialize_portable(payload["call_bytes"])
+        inline: dict = payload["inline"]
+        upstream: Optional[ErrorValue] = None
+
+        def resolve(value: Any) -> Any:
+            nonlocal upstream
+            if not isinstance(value, SlotRef):
+                return value
+            data = inline.get(value.object_id)
+            if data is None:
+                data = self.cache.get(value.object_id)
+                if data is None:
+                    data = self.rpc(msg.FETCH, value.object_id)
+                    try:
+                        self.cache.put(value.object_id, data)
+                    except ReproError:
+                        pass  # larger than the whole cache: run uncached
+                if self.cache.contains(value.object_id):
+                    self.cache.pin(value.object_id)
+                    pinned.append(value.object_id)
+            resolved = deserialize(data)
+            if isinstance(resolved, ErrorValue) and upstream is None:
+                upstream = resolved
+            return resolved
+
+        args = tuple(resolve(value) for value in args_template)
+        kwargs = {key: resolve(value) for key, value in kwargs_template.items()}
+        return args, kwargs, upstream
+
+    def _execute_function(self, spec: TaskSpec, payload: dict, args, kwargs) -> Any:
+        try:
+            function = deserialize_portable(payload["function_bytes"])
+        except BaseException as exc:  # noqa: BLE001 - code-shipping boundary
+            return error_value_from(spec, exc)
+        return self._run_callable(spec, function, args, kwargs)
+
+    def _execute_actor(self, spec: TaskSpec, payload: dict, args, kwargs) -> Any:
+        if (
+            spec.actor_method == CREATION_METHOD
+            and self.actors.get(spec.actor_id) is None
+        ):
+            self.actors.create(
+                spec.actor_id, payload["class_name"], payload["resources"],
+                self.node_id,
+            )
+            try:
+                spec.function = deserialize_portable(payload["function_bytes"])
+            except BaseException as exc:  # noqa: BLE001 - code-shipping boundary
+                return error_value_from(spec, exc)
+        function, record, error = resolve_actor_callable(self.actors, spec)
+        if error is not None:
+            return error
+        if spec.actor_method == CREATION_METHOD:
+            try:
+                instance = function(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - user code boundary
+                return error_value_from(spec, exc)
+            register_instance(record, instance, self.node_id)
+            return None
+        result = self._run_callable(spec, function, args, kwargs)
+        if not isinstance(result, ErrorValue):
+            record.methods_executed += 1
+        return result
+
+    def _run_callable(self, spec: TaskSpec, function, args, kwargs) -> Any:
+        """Run a task body (plain or generator-of-effects); capture errors."""
+        try:
+            if inspect.isgeneratorfunction(function):
+                return run_effect_loop_sync(
+                    spec, function(*args, **kwargs), self._effect_handler
+                )
+            return function(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - user code boundary
+            return error_value_from(spec, exc)
+
+
+def worker_main(conn, index: int, seed: int, cache_capacity: int) -> None:
+    """Entry point of a worker child process (importable for spawn)."""
+    ProcWorker(conn, index=index, seed=seed, cache_capacity=cache_capacity).run()

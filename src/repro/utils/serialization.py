@@ -1,19 +1,46 @@
 """Object serialization used by the object stores.
 
-Both backends store *serialized* values, exactly as the paper's shared-memory
+Every backend stores *serialized* values, exactly as the paper's shared-memory
 object store would: putting an object costs a serialization, getting it costs
 a deserialization, and the serialized size drives transfer times over the
-simulated network and eviction pressure in the store.
+simulated network, eviction pressure in the store, and — on the multiprocess
+backend — whether an argument ships inline with its task or stays in the
+driver's store to be fetched (and cached) on demand.
+
+Two serialization regimes coexist:
+
+* :func:`serialize`/:func:`deserialize` — plain pickle, for *data* (task
+  arguments, results, put values).  Values must be picklable.
+* :func:`serialize_portable`/:func:`deserialize_portable` — ``cloudpickle``
+  when available, for *code* crossing a process boundary.  Plain pickle
+  serializes functions by reference (module + qualname), which breaks for
+  closures, test-local definitions, and names rebound by ``@remote``;
+  cloudpickle serializes them by value.  Without cloudpickle we fall back
+  to pickle, which restricts the ``proc`` backend to importable functions.
 """
 
 from __future__ import annotations
 
 import pickle
+from dataclasses import dataclass
 from typing import Any
+
+try:  # cloudpickle ships with many scientific stacks but is not stdlib.
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - exercised only on bare installs
+    _cloudpickle = None
 
 #: Protocol 5 supports out-of-band buffers; we use it for realistic sizes on
 #: numpy arrays while staying stdlib-only.
 _PROTOCOL = 5
+
+#: Serialized objects at or below this size ship *inline* inside task
+#: messages crossing the process boundary; larger ones stay in the driver's
+#: object store and workers fetch them on demand into a per-worker
+#: :class:`~repro.objectstore.store.LocalObjectStore` cache.  64 KiB
+#: mirrors the in-band/out-of-band split of real object stores, where small
+#: values ride the control message and large ones take the data path.
+DEFAULT_INLINE_THRESHOLD = 64 * 1024
 
 
 def serialize(value: Any) -> bytes:
@@ -40,3 +67,69 @@ def deserialize(data: bytes) -> Any:
 def serialized_size(value: Any) -> int:
     """Return the serialized size of ``value`` in bytes."""
     return len(serialize(value))
+
+
+def should_inline(num_bytes: int, threshold: int = DEFAULT_INLINE_THRESHOLD) -> bool:
+    """Whether a serialized object of ``num_bytes`` ships inline with its
+    task message (True) or stays in the store for on-demand fetch (False)."""
+    return num_bytes <= threshold
+
+
+def have_portable_serializer() -> bool:
+    """Whether by-value code serialization (cloudpickle) is available."""
+    return _cloudpickle is not None
+
+
+def serialize_portable(value: Any) -> bytes:
+    """Serialize ``value`` so it survives a process boundary.
+
+    Uses cloudpickle when available (functions/classes by value, so
+    closures and ``@remote``-rebound names work); falls back to plain
+    pickle, whose by-reference function pickling requires the target to be
+    importable under its original name in the worker process.
+    """
+    dumper = _cloudpickle.dumps if _cloudpickle is not None else pickle.dumps
+    try:
+        return dumper(value, protocol=_PROTOCOL)
+    except Exception as exc:
+        hint = "" if _cloudpickle is not None else (
+            " (cloudpickle is not installed; only importable module-level "
+            "functions can cross the process boundary)"
+        )
+        raise TypeError(
+            f"value of type {type(value).__name__} cannot cross the process "
+            f"boundary: {exc}{hint}"
+        ) from exc
+
+
+def deserialize_portable(data: bytes) -> Any:
+    """Inverse of :func:`serialize_portable` (cloudpickle output is plain
+    pickle-loadable as long as cloudpickle is importable at load time)."""
+    return pickle.loads(data)
+
+
+@dataclass
+class ByteAccountant:
+    """Size accounting for one flow of serialized objects.
+
+    The proc backend keeps one per flow (inlined args, fetched args,
+    shipped results) so ``stats()`` can report where bytes actually went
+    across the serialization boundary.
+    """
+
+    count: int = 0
+    total_bytes: int = 0
+    max_bytes: int = 0
+
+    def record(self, num_bytes: int) -> None:
+        self.count += 1
+        self.total_bytes += num_bytes
+        if num_bytes > self.max_bytes:
+            self.max_bytes = num_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+        }

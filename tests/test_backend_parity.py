@@ -1,19 +1,26 @@
-"""Cross-backend parity: one program, identical results on sim and local.
+"""Cross-backend parity: one program, identical results on every backend.
 
 The paper's thesis is that the programming model is independent of the
-serving system.  These tests make that falsifiable: a single program
-exercising tasks, dataflow, nested tasks, actors, ``wait`` timeouts, and
-error propagation runs once per backend, and its *observable results*
-(values, orderings, error types and provenance) must match exactly —
-only the clocks may differ.
+serving system.  These tests make that falsifiable — and keep it
+falsifiable as backends are added: the parity workload and every
+shared-semantics assertion run once per *registered* backend (sim /
+local / proc), and observable results (values, orderings, error types
+and provenance) must match exactly.  Only the clocks — and, on ``proc``,
+the worker PIDs — may differ.
 """
 
 import pytest
 
 import repro
+from repro.core.backend import registered_backends
 from repro.errors import GetTimeoutError, TaskError
 
-BACKENDS = ("sim", "local")
+#: Every backend shipped with the repo; the matrix grows automatically
+#: when a new one is registered at import time.
+BACKENDS = tuple(sorted(registered_backends()))
+
+#: The reference implementation the others are compared against.
+REFERENCE = "sim"
 
 
 @repro.remote
@@ -44,6 +51,30 @@ def fail(message):
     raise ValueError(message)
 
 
+@repro.remote
+def sleepy(x):
+    import time
+
+    time.sleep(1.0)
+    return x
+
+
+@repro.remote
+def poke(handle, amount):
+    """Pass an actor handle through a task boundary and call it."""
+    ref = yield repro.ActorCall(handle, "add", (amount,), {})
+    value = yield repro.Get(ref)
+    return value
+
+
+def slow_tasks(backend, count):
+    """``count`` tasks taking ~1s in the backend's own notion of time."""
+    if backend == "sim":
+        slow = square.options(duration=1.0)
+        return [slow.remote(i) for i in range(count)]
+    return [sleepy.remote(i) for i in range(count)]
+
+
 def run_program(backend):
     """The parity workload; returns every observable outcome."""
     outcome = {}
@@ -54,6 +85,7 @@ def run_program(backend):
         outcome["squares"] = repro.get(refs)
         chained = add.remote(add.remote(1, 2), add.remote(3, 4))
         outcome["chained"] = repro.get(chained)
+        outcome["duplicate_refs"] = repro.get([chained, chained])
 
         # Nested task creation (R3).
         @repro.remote
@@ -62,14 +94,19 @@ def run_program(backend):
 
         outcome["nested"] = repro.get(repro.get(parent.remote(5)))
 
-        # put / get round-trip.
+        # put / get round-trip, small and large (the proc backend ships
+        # small arguments inline and large ones through the store path).
         outcome["put"] = repro.get(repro.put({"k": [1, 2, 3]}))
+        big = repro.put(list(range(30_000)))
+        outcome["big_len"] = repro.get(add.remote(big, [0])) == list(range(30_000)) + [0]
 
-        # Actors: ordering and state.
+        # Actors: ordering, state, and handles crossing task boundaries.
         acc = Accumulator.remote(100)
         outcome["actor_series"] = repro.get([acc.add.remote(i) for i in range(5)])
         outcome["actor_total"] = repro.get(acc.total_value.remote())
         outcome["actor_into_task"] = repro.get(add.remote(acc.total_value.remote(), 1))
+        outcome["actor_handle_into_task"] = repro.get(poke.remote(acc, 1000))
+        outcome["actor_after_poke"] = repro.get(acc.total_value.remote())
 
         # wait: early completion and zero-timeout partial results.
         done_refs = [square.remote(i) for i in range(4)]
@@ -78,15 +115,35 @@ def run_program(backend):
         outcome["wait_ready"] = repro.get(ready)
         outcome["wait_pending_count"] = len(pending)
 
+        # wait: timeout expiry and num_returns=0 against slow tasks.
+        slow_refs = slow_tasks(backend, 3)
+        ready, pending = repro.wait(slow_refs, num_returns=0)
+        outcome["wait_zero_returns"] = (len(ready), len(pending))
+        ready, pending = repro.wait(slow_refs, num_returns=3, timeout=0.05)
+        outcome["wait_timeout"] = (len(ready), len(pending))
+
         # Error propagation: type, provenance, and chain survival.
         bad = fail.remote("parity-boom")
         downstream = add.remote(bad, 1)
-        for key, ref in (("error_direct", bad), ("error_downstream", downstream)):
+        far_downstream = add.remote(downstream, 1)
+        for key, ref in (
+            ("error_direct", bad),
+            ("error_downstream", downstream),
+            ("error_far_downstream", far_downstream),
+        ):
             try:
                 repro.get(ref)
                 outcome[key] = "no-error"
             except TaskError as exc:
                 outcome[key] = (type(exc).__name__, exc.function_name, exc.cause_repr)
+
+        # A failed ref inside a get over a mixed list raises the same way.
+        ok = square.remote(3)
+        try:
+            repro.get([ok, bad])
+            outcome["error_in_list"] = "no-error"
+        except TaskError as exc:
+            outcome["error_in_list"] = (type(exc).__name__, exc.function_name)
 
         # Method errors don't kill the actor.
         @repro.remote
@@ -110,6 +167,13 @@ def run_program(backend):
             outcome["actor_error"] = (type(exc).__name__, exc.function_name)
         outcome["actor_survives"] = repro.get(fragile.ping.remote())
 
+        # An actor-method error propagates through dependent tasks too.
+        try:
+            repro.get(add.remote(fragile.crash.remote(), 1))
+            outcome["actor_error_downstream"] = "no-error"
+        except TaskError as exc:
+            outcome["actor_error_downstream"] = (type(exc).__name__, exc.function_name)
+
         # Generator effects (the shared effect driver).
         @repro.remote
         def pipeline(x):
@@ -126,9 +190,21 @@ def run_program(backend):
     return outcome
 
 
-def test_same_program_same_results_on_both_backends():
-    results = {backend: run_program(backend) for backend in BACKENDS}
-    assert results["sim"] == results["local"]
+@pytest.fixture(scope="module")
+def program_outcomes():
+    """Run the parity workload once per backend (shared by the matrix)."""
+    return {backend: run_program(backend) for backend in BACKENDS}
+
+
+def test_matrix_covers_all_shipped_backends():
+    assert {"sim", "local", "proc"} <= set(BACKENDS)
+
+
+@pytest.mark.parametrize(
+    "backend", [name for name in BACKENDS if name != REFERENCE]
+)
+def test_same_program_same_results(program_outcomes, backend):
+    assert program_outcomes[backend] == program_outcomes[REFERENCE]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -139,12 +215,12 @@ def test_get_timeout_type_is_shared(backend):
             slow = square.options(duration=10.0).remote(3)
         else:
             @repro.remote
-            def sleepy(x):
+            def very_sleepy(x):
                 import time
                 time.sleep(10.0)
                 return x
 
-            slow = sleepy.remote(3)
+            slow = very_sleepy.remote(3)
         with pytest.raises(GetTimeoutError):
             repro.get(slow, timeout=0.05)
     finally:
@@ -162,5 +238,23 @@ def test_wait_validation_is_shared(backend):
             repro.wait([ref], num_returns=-1)
         with pytest.raises(TypeError, match="ObjectRef"):
             repro.get(42)
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interleaved_actor_ordering_is_shared(backend):
+    """Two actors' call chains are independent but each totally ordered."""
+    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=7)
+    try:
+        a = Accumulator.remote(0)
+        b = Accumulator.remote(1000)
+        refs = []
+        for i in range(6):
+            refs.append(a.add.remote(1))
+            refs.append(b.add.remote(10))
+        values = repro.get(refs)
+        assert values[0::2] == [1, 2, 3, 4, 5, 6]
+        assert values[1::2] == [1010, 1020, 1030, 1040, 1050, 1060]
     finally:
         repro.shutdown()

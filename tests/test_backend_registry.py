@@ -23,7 +23,7 @@ def _clean_runtime():
 
 def test_builtin_backends_registered():
     names = registered_backends()
-    assert "sim" in names and "local" in names
+    assert "sim" in names and "local" in names and "proc" in names
 
 
 def test_unknown_backend_lists_registered_names():
@@ -90,3 +90,32 @@ def test_create_backend_direct():
 def test_register_backend_rejects_bad_name():
     with pytest.raises(ValueError):
         register_backend("", lambda: object)
+
+
+@pytest.mark.parametrize("backend", ["local", "sim", "proc"])
+def test_unknown_init_kwarg_rejected_with_name_and_options(backend):
+    """Misspelled init options must fail loudly (they used to be silently
+    swallowed by the local backend's ``**_ignored``), naming the offending
+    kwarg and listing the backend's valid options."""
+    with pytest.raises(BackendError) as excinfo:
+        repro.init(backend=backend, definitely_not_an_option=1)
+    message = str(excinfo.value)
+    assert "definitely_not_an_option" in message
+    assert backend in message
+    assert "valid options" in message
+    assert "seed" in message                 # every builtin accepts seed
+    assert not repro.is_initialized()
+
+
+def test_custom_backend_with_var_kwargs_skips_validation():
+    class Sponge:
+        def __init__(self, **kwargs):
+            self.closed = False
+
+        def shutdown(self):
+            self.closed = True
+
+    register_backend("fake", lambda: Sponge)
+    runtime = repro.init(backend="fake", anything_goes=True)
+    assert isinstance(runtime, Sponge)
+    repro.shutdown()

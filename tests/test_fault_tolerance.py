@@ -1,9 +1,19 @@
-"""Fault-tolerance tests (R6): node death, recovery, lineage replay."""
+"""Fault-tolerance tests (R6): node death, recovery, lineage replay —
+on the simulated cluster (kill_node) and, mirroring the same semantics,
+on the multiprocess backend (kill_worker: SIGKILL of a real process)."""
+
+import os
+import time
 
 import pytest
 
 import repro
-from repro.errors import ObjectLostError, TaskError
+from repro.errors import (
+    ActorLostError,
+    ObjectLostError,
+    TaskError,
+    WorkerCrashedError,
+)
 
 
 @repro.remote
@@ -161,3 +171,152 @@ def test_stats_count_failures(cluster):
     repro.sleep(cluster.costs.heartbeat_timeout + 3 * cluster.costs.heartbeat_interval)
     stats = cluster.stats()
     assert stats["nodes_declared_dead"] == 1
+
+
+# ----------------------------------------------------------------------
+# Proc backend: a SIGKILLed worker process is this backend's node death.
+# ----------------------------------------------------------------------
+
+
+@repro.remote
+def hang_once(marker_path):
+    """Sleeps forever on its first run, instant on any replay."""
+    if not os.path.exists(marker_path):
+        open(marker_path, "w").close()
+        time.sleep(120.0)
+    return "recovered"
+
+
+@repro.remote
+def proc_noop():
+    return 1
+
+
+@repro.remote
+class MarkedSleeper:
+    def __init__(self):
+        self.calls = 0
+
+    def nap(self, marker_path):
+        open(marker_path, "w").close()
+        time.sleep(120.0)
+
+    def ping(self):
+        self.calls += 1
+        return self.calls
+
+
+def _await_marker(path, timeout=30.0):
+    """Block until a worker-side task signals it has started running."""
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"marker {path} never appeared")
+        time.sleep(0.01)
+
+
+class TestProcWorkerCrash:
+    def test_stateless_task_replays_via_lineage(self, tmp_path):
+        runtime = repro.init(backend="proc", num_workers=1)
+        marker = str(tmp_path / "started")
+        ref = hang_once.remote(marker)
+        _await_marker(marker)
+        runtime.kill_worker(0)
+        # The replacement worker replays the spec; the marker file makes
+        # the second attempt return immediately.
+        assert repro.get(ref, timeout=60.0) == "recovered"
+        stats = runtime.stats()
+        assert stats["workers_crashed"] == 1
+        assert stats["lineage_replays"] == 1
+        # The healed pool keeps serving new work.
+        assert repro.get(proc_noop.remote(), timeout=60.0) == 1
+
+    def test_replay_budget_exhausted_surfaces_worker_crashed(self, tmp_path):
+        runtime = repro.init(backend="proc", num_workers=1)
+        marker = str(tmp_path / "started")
+        # max_reconstructions=0: the first crash is already fatal.
+        ref = hang_once.options(max_reconstructions=0).remote(marker)
+        _await_marker(marker)
+        runtime.kill_worker(0)
+        with pytest.raises(WorkerCrashedError, match="budget exhausted"):
+            repro.get(ref, timeout=60.0)
+
+    def test_crash_policy_fail_disables_replay(self, tmp_path):
+        runtime = repro.init(backend="proc", num_workers=1, worker_crash_policy="fail")
+        marker = str(tmp_path / "started")
+        ref = hang_once.remote(marker)
+        _await_marker(marker)
+        runtime.kill_worker(0)
+        with pytest.raises(WorkerCrashedError, match="disables lineage replay"):
+            repro.get(ref, timeout=60.0)
+        assert runtime.stats()["lineage_replays"] == 0
+        # The pool still heals (a replacement worker is spawned).
+        assert repro.get(proc_noop.remote(), timeout=60.0) == 1
+
+    def test_actor_calls_surface_actor_lost(self, tmp_path):
+        """Mirror of the sim backend's node-death semantics: pending and
+        future calls on a lost actor raise ActorLostError, while stateless
+        work continues and new actors can be created."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        sleeper = MarkedSleeper.remote()
+        marker = str(tmp_path / "napping")
+        nap_ref = sleeper.nap.remote(marker)
+        _await_marker(marker)
+        runtime.kill_worker(runtime.worker_for_actor(sleeper.actor_id))
+        with pytest.raises(ActorLostError):
+            repro.get(nap_ref, timeout=60.0)          # the orphaned call
+        with pytest.raises(ActorLostError):
+            repro.get(sleeper.ping.remote(), timeout=60.0)  # a future call
+        # Stateless lineage-backed work is unaffected...
+        assert repro.get(proc_noop.remote(), timeout=60.0) == 1
+        # ...and fresh actors place onto the healed pool.
+        fresh = MarkedSleeper.remote()
+        assert repro.get(fresh.ping.remote(), timeout=60.0) == 1
+        assert runtime.stats()["workers_crashed"] == 1
+
+    def test_actor_with_pending_creation_dep_survives_home_worker_crash(
+        self, tmp_path
+    ):
+        """An actor whose constructor is still *parked* on an unready
+        dependency when its home worker dies must be re-homed to the
+        replacement, not lost (its state never existed) nor stuck
+        bouncing between service threads forever."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        marker = str(tmp_path / "gate")
+        gate_ref = hang_once.options(max_reconstructions=3).remote(marker)
+
+        @repro.remote
+        class Holder:
+            def __init__(self, value):
+                self.value = value
+
+            def get_value(self):
+                return self.value
+
+        # The constructor depends on the hanging task's result, so it sits
+        # in the DependencyTracker pinned (by record) to worker 0...
+        holder = Holder.remote(gate_ref)
+        _await_marker(marker)
+        # ...which we now kill.  The replay of hang_once returns fast, the
+        # dependency resolves, and the creation must run on the new worker.
+        runtime.kill_worker(0)
+        assert repro.get(holder.get_value.remote(), timeout=60.0) == "recovered"
+
+    def test_actor_loss_propagates_through_dependents(self, tmp_path):
+        """A task consuming a lost actor call's future sees ActorLostError
+        too, exactly like downstream TaskError propagation."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        sleeper = MarkedSleeper.remote()
+        marker = str(tmp_path / "napping")
+        nap_ref = sleeper.nap.remote(marker)
+        _await_marker(marker)
+        downstream = proc_noop.options(num_cpus=1).remote()
+        runtime.kill_worker(runtime.worker_for_actor(sleeper.actor_id))
+
+        @repro.remote
+        def consume(value):
+            return value
+
+        with pytest.raises(ActorLostError):
+            repro.get(consume.remote(nap_ref), timeout=60.0)
+        assert repro.get(downstream, timeout=60.0) == 1

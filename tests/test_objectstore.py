@@ -1,4 +1,9 @@
-"""Unit tests for the per-node object store and transfer manager."""
+"""Unit tests for the per-node object store and transfer manager,
+including randomized model-based property tests of the LRU/pinning
+semantics every backend (sim nodes, proc driver store, proc worker
+caches) relies on."""
+
+import random
 
 import pytest
 
@@ -111,6 +116,182 @@ class TestLocalObjectStore:
         s.clear()
         assert s.num_objects == 0
         assert s.used_bytes == 0
+
+
+class _StoreModel:
+    """Executable specification of LocalObjectStore's visible semantics.
+
+    Tracks residency, sizes, LRU order, and pin counts, replaying each
+    operation exactly as the contract says the store must behave —
+    including the partial evictions a failed oversized put leaves behind.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.sizes = {}    # oid -> stored size (first put wins: re-puts
+                           # only touch recency, never replace bytes)
+        self.lru = []      # oids, least recently used first
+        self.pins = {}     # oid -> pin count (independent of residency)
+
+    @property
+    def used(self):
+        return sum(self.sizes.values())
+
+    def _touch(self, oid):
+        self.lru.remove(oid)
+        self.lru.append(oid)
+
+    def put(self, oid, size):
+        """Returns True if the put must succeed, False if it must raise."""
+        if oid in self.sizes:
+            self._touch(oid)
+            return True
+        if size > self.capacity:
+            return False
+        # Evict LRU-first, skipping pinned, exactly like _evict_until —
+        # evictions that happen before an eventual failure stick.
+        if size > self.capacity - self.used:
+            for candidate in list(self.lru):
+                if self.capacity - self.used >= size:
+                    break
+                if self.pins.get(candidate, 0) > 0:
+                    continue
+                self.lru.remove(candidate)
+                del self.sizes[candidate]
+        if self.capacity - self.used < size:
+            return False
+        self.sizes[oid] = size
+        self.lru.append(oid)
+        return True
+
+    def get(self, oid):
+        """Returns the expected size if resident, else None."""
+        if oid not in self.sizes:
+            return None
+        self._touch(oid)
+        return self.sizes[oid]
+
+    def delete(self, oid):
+        # Deleting a non-resident id is a complete no-op: even its pin
+        # counts survive (they belong to the id, not the bytes).
+        if oid in self.sizes:
+            self.lru.remove(oid)
+            del self.sizes[oid]
+            self.pins.pop(oid, None)
+
+    def pin(self, oid):
+        self.pins[oid] = self.pins.get(oid, 0) + 1
+
+    def unpin(self, oid):
+        count = self.pins.get(oid, 0)
+        if count <= 1:
+            self.pins.pop(oid, None)
+        else:
+            self.pins[oid] = count - 1
+
+
+class TestObjectStoreProperties:
+    """Randomized interleavings checked against the executable model."""
+
+    CAPACITY = 1000
+
+    def _assert_matches(self, store, model):
+        # Residency and LRU order agree exactly...
+        assert list(store.object_ids()) == model.lru
+        # ...used_bytes always equals the sum of resident sizes...
+        assert store.used_bytes == sum(
+            store.size_of(oid) for oid in store.object_ids()
+        )
+        assert store.used_bytes == model.used
+        assert store.used_bytes <= store.capacity
+        # ...and pin state tracks the model's counts.
+        for oid in set(model.pins) | set(store.object_ids()):
+            assert store.is_pinned(oid) == (model.pins.get(oid, 0) > 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_interleavings_match_model(self, seed):
+        rng = random.Random(seed)
+        gen = IDGenerator(namespace=f"objstore-prop/{seed}")
+        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        model = _StoreModel(self.CAPACITY)
+        pool = [gen.object_id() for _ in range(30)]
+
+        for _ in range(500):
+            op = rng.choice(("put", "put", "get", "get", "pin", "unpin", "delete"))
+            oid = rng.choice(pool)
+            if op == "put":
+                size = rng.randint(1, 600)
+                if model.put(oid, size):
+                    store.put(oid, b"x" * size)
+                else:
+                    with pytest.raises(ObjectStoreFullError):
+                        store.put(oid, b"x" * size)
+            elif op == "get":
+                expected = model.get(oid)
+                data = store.get(oid)
+                assert (data is None) == (expected is None)
+                if data is not None:
+                    assert len(data) == expected
+            elif op == "pin":
+                model.pin(oid)
+                store.pin(oid)
+            elif op == "unpin":
+                model.unpin(oid)
+                store.unpin(oid)
+            else:
+                model.delete(oid)
+                store.delete(oid)
+            self._assert_matches(store, model)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pinned_args_never_evicted_under_pressure(self, seed):
+        """Pin/unpin interleavings never let eviction touch a pinned
+        object — the invariant task argument safety rests on."""
+        rng = random.Random(1000 + seed)
+        gen = IDGenerator(namespace=f"objstore-pin/{seed}")
+        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        pinned = []
+        for index in range(3):
+            oid = gen.object_id()
+            store.put(oid, b"p" * rng.randint(50, 150))
+            store.pin(oid)
+            if rng.random() < 0.5:  # nested pins must nest correctly
+                store.pin(oid)
+                store.unpin(oid)
+            pinned.append(oid)
+        for _ in range(200):
+            try:
+                store.put(gen.object_id(), b"f" * rng.randint(100, 400))
+            except ObjectStoreFullError:
+                pass  # everything evictable is gone; pins must still hold
+            for oid in pinned:
+                assert store.contains(oid)
+                assert store.is_pinned(oid)
+        for oid in pinned:
+            store.unpin(oid)
+            assert not store.is_pinned(oid)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eviction_order_is_lru(self, seed):
+        """After random touches, a capacity-busting put evicts exactly the
+        least-recently-used unpinned prefix."""
+        rng = random.Random(2000 + seed)
+        gen = IDGenerator(namespace=f"objstore-lru/{seed}")
+        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        size = 100
+        resident = [gen.object_id() for _ in range(10)]  # exactly fills it
+        for oid in resident:
+            store.put(oid, b"z" * size)
+        for _ in range(20):                              # shuffle recency
+            store.get(rng.choice(resident))
+        order = list(store.object_ids())                 # oldest first
+        evict_count = rng.randint(1, 9)
+        store.put(gen.object_id(), b"n" * (size * evict_count))
+        for oid in order[:evict_count]:
+            assert not store.contains(oid)
+        for oid in order[evict_count:]:
+            assert store.contains(oid)
+        assert store.evictions == evict_count
 
 
 class TestTransferIntegration:

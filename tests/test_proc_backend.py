@@ -1,0 +1,261 @@
+"""Proc-backend specifics: true parallelism, the serialization boundary,
+capability flags, and init-option validation.
+
+Cross-backend semantics are covered by the parity matrix
+(``test_backend_parity.py``) and crash recovery by
+``test_fault_tolerance.py``; this file tests what is *unique* to the
+multiprocess backend.
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro.core.backend import Backend, backend_capabilities, registered_backends
+from repro.errors import BackendError
+from repro.utils.serialization import DEFAULT_INLINE_THRESHOLD, should_inline
+
+
+@repro.remote
+def my_pid():
+    return os.getpid()
+
+
+@repro.remote
+def payload_len(data):
+    return len(data)
+
+
+@repro.remote
+def spawn_child(n):
+    return my_pid.remote()
+
+
+# ----------------------------------------------------------------------
+# Registration and capabilities
+# ----------------------------------------------------------------------
+
+
+def test_proc_backend_registered():
+    assert "proc" in registered_backends()
+
+
+def test_capability_flags():
+    proc = backend_capabilities("proc")
+    assert proc.true_parallelism and proc.multiprocess and proc.fault_injection
+    assert not proc.virtual_time
+    sim = backend_capabilities("sim")
+    assert sim.virtual_time and sim.fault_injection
+    assert not sim.true_parallelism
+    local = backend_capabilities("local")
+    assert not local.true_parallelism       # threads share one GIL
+    with pytest.raises(BackendError, match="unknown backend"):
+        backend_capabilities("does-not-exist")
+
+
+def test_proc_runtime_satisfies_backend_protocol():
+    runtime = repro.init(backend="proc", num_workers=1)
+    try:
+        assert isinstance(runtime, Backend)
+    finally:
+        repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# True multiprocess execution
+# ----------------------------------------------------------------------
+
+
+def test_tasks_run_in_worker_processes_not_the_driver():
+    runtime = repro.init(backend="proc", num_workers=2)
+    try:
+        pids = set(repro.get([my_pid.remote() for _ in range(8)]))
+        assert os.getpid() not in pids
+        assert pids <= set(runtime.worker_pids())
+    finally:
+        repro.shutdown()
+
+
+def test_nested_submission_from_worker_process():
+    repro.init(backend="proc", num_workers=2)
+    try:
+        inner_ref = repro.get(spawn_child.remote(1))
+        assert repro.get(inner_ref) != os.getpid()
+    finally:
+        repro.shutdown()
+
+
+def test_worker_pool_size_and_pids():
+    runtime = repro.init(backend="proc", num_workers=3)
+    try:
+        pids = runtime.worker_pids()
+        assert len(pids) == 3
+        assert len(set(pids)) == 3
+        assert runtime.stats()["num_workers"] == 3
+    finally:
+        repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The serialization boundary: inline vs store, worker-side caching
+# ----------------------------------------------------------------------
+
+
+def test_inline_threshold_helper():
+    assert should_inline(0)
+    assert should_inline(DEFAULT_INLINE_THRESHOLD)
+    assert not should_inline(DEFAULT_INLINE_THRESHOLD + 1)
+    assert not should_inline(100, threshold=50)
+
+
+def test_small_arguments_ship_inline():
+    runtime = repro.init(backend="proc", num_workers=1)
+    try:
+        small = repro.put(b"tiny")
+        assert repro.get(payload_len.remote(small)) == 4
+        stats = runtime.stats()
+        assert stats["args_inlined"]["count"] >= 1
+        assert stats["args_fetched"]["count"] == 0
+    finally:
+        repro.shutdown()
+
+
+def test_large_arguments_take_store_path_and_cache():
+    """A >threshold argument is fetched once and then served from the
+    worker's LocalObjectStore cache for subsequent tasks."""
+    runtime = repro.init(backend="proc", num_workers=1)
+    try:
+        blob = b"x" * (DEFAULT_INLINE_THRESHOLD * 3)
+        big = repro.put(blob)
+        assert repro.get(payload_len.remote(big)) == len(blob)
+        assert repro.get(payload_len.remote(big)) == len(blob)
+        stats = runtime.stats()
+        assert stats["args_stored"]["count"] == 2   # marked store-path twice
+        assert stats["args_fetched"]["count"] == 1  # but fetched only once
+        assert stats["args_fetched"]["max_bytes"] >= len(blob)
+    finally:
+        repro.shutdown()
+
+
+def test_custom_inline_threshold():
+    runtime = repro.init(backend="proc", num_workers=1, inline_threshold=0)
+    try:
+        ref = repro.put(b"xy")
+        assert repro.get(payload_len.remote(ref)) == 2
+        stats = runtime.stats()
+        assert stats["args_inlined"]["count"] == 0
+        assert stats["args_fetched"]["count"] == 1
+    finally:
+        repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Init-option validation (named kwarg, valid options listed)
+# ----------------------------------------------------------------------
+
+
+def test_unknown_init_option_is_rejected_not_ignored():
+    with pytest.raises(BackendError) as excinfo:
+        repro.init(backend="proc", num_wrkers=4)
+    message = str(excinfo.value)
+    assert "num_wrkers" in message
+    assert "num_workers" in message          # the valid options are listed
+    assert not repro.is_initialized()
+
+
+def test_invalid_num_workers_rejected():
+    with pytest.raises(BackendError, match="num_workers"):
+        repro.init(backend="proc", num_workers=0)
+    assert not repro.is_initialized()
+
+
+def test_invalid_crash_policy_named_with_valid_values():
+    with pytest.raises(BackendError) as excinfo:
+        repro.init(backend="proc", worker_crash_policy="panic")
+    message = str(excinfo.value)
+    assert "worker_crash_policy" in message
+    assert "replace" in message and "fail" in message
+
+
+# ----------------------------------------------------------------------
+# Robustness of the process boundary
+# ----------------------------------------------------------------------
+
+
+def test_unpicklable_return_is_a_task_error_not_a_crash():
+    """A result that cannot cross the pipe must surface as TaskError in
+    the worker (serialize wraps every pickling failure in TypeError) —
+    never kill the process and burn lineage replays."""
+    runtime = repro.init(backend="proc", num_workers=1)
+    try:
+        @repro.remote
+        def make_unpicklable():
+            return lambda: 1
+
+        with pytest.raises(repro.TaskError, match="not serializable"):
+            repro.get(make_unpicklable.remote(), timeout=60.0)
+        stats = runtime.stats()
+        assert stats["workers_crashed"] == 0
+        assert stats["lineage_replays"] == 0
+    finally:
+        repro.shutdown()
+
+
+def test_bad_worker_request_does_not_strand_the_worker():
+    """A worker request whose payload blows up on the driver side (here:
+    an ActorCall on a handle forged for an unknown actor) must come back
+    as an error, leaving the worker alive for further tasks."""
+    repro.init(backend="proc", num_workers=1)
+    try:
+        from repro.core.actors import ActorHandle
+        from repro.utils.ids import ActorID
+
+        forged = ActorHandle(
+            actor_id=ActorID.from_seed("no-such-actor"),
+            class_name="Ghost",
+            method_names=("boo",),
+        )
+
+        @repro.remote
+        def call_ghost(handle):
+            try:
+                yield repro.ActorCall(handle, "boo", (), {})
+            except BackendError as exc:
+                return f"caught: {type(exc).__name__}"
+            return "no-error"
+
+        assert repro.get(call_ghost.remote(forged), timeout=60.0) == (
+            "caught: BackendError"
+        )
+        # The same worker still serves tasks afterwards.
+        assert repro.get(my_pid.remote(), timeout=60.0) != os.getpid()
+    finally:
+        repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_shutdown_is_idempotent_and_closes_submission():
+    runtime = repro.init(backend="proc", num_workers=1)
+    repro.shutdown()
+    runtime.shutdown()                        # second call is a no-op
+    assert runtime.closed
+    with pytest.raises(BackendError, match="shut down"):
+        runtime.put(1)
+
+
+def test_stats_shape():
+    runtime = repro.init(backend="proc", num_workers=2)
+    try:
+        repro.get([my_pid.remote() for _ in range(4)])
+        stats = runtime.stats()
+        assert stats["tasks_executed"] == 4
+        assert stats["tasks_waiting"] == 0
+        assert stats["workers_crashed"] == 0
+        assert stats["results_shipped"]["count"] == 4
+    finally:
+        repro.shutdown()
