@@ -45,6 +45,25 @@ def run(backend: str) -> None:
     # 4. get(): block on the final result.
     print(f"pi ~= {repro.get(final):.5f}")
 
+    # 5. Task lifecycle: consume completions as they land, give up on a
+    #    task (it never runs if it had not started), split returns.
+    ordered = list(repro.as_completed([monte_carlo_pi.remote(10_000, s)
+                                       for s in range(4)]))
+    print(f"as_completed drained {len(ordered)} rollouts in finish order")
+    abandoned = combine.remote(*refs, monte_carlo_pi.remote(10_000, 99))
+    if repro.cancel(abandoned):
+        try:
+            repro.get(abandoned)
+        except repro.TaskCancelledError:
+            print("cancelled combine surfaced TaskCancelledError at get()")
+
+    @repro.remote(num_returns=2)
+    def head_tail(values):
+        return values[0], values[-1]
+
+    lo, hi = head_tail.remote(sorted(repro.get(ordered)))
+    print(f"estimate spread: {repro.get(lo):.4f} .. {repro.get(hi):.4f}")
+
     if backend == "sim":
         stats = runtime.stats()
         print(f"virtual time: {stats['virtual_time'] * 1e3:.2f} ms, "

@@ -41,8 +41,13 @@ Quickstart::
 from repro.api import (
     ActorClass,
     ActorHandle,
+    ActorOptions,
     RemoteFunction,
+    TaskOptions,
+    as_completed,
+    cancel,
     get,
+    get_actor,
     get_runtime,
     init,
     is_initialized,
@@ -53,7 +58,15 @@ from repro.api import (
     sleep,
     wait,
 )
-from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
+from repro.core.effects import (
+    ActorCall,
+    ActorCreate,
+    Cancel,
+    Compute,
+    Get,
+    Put,
+    Wait,
+)
 from repro.core.object_ref import ObjectRef
 from repro.errors import (
     ActorLostError,
@@ -62,12 +75,13 @@ from repro.errors import (
     ObjectLostError,
     ReproError,
     SchedulingError,
+    TaskCancelledError,
     TaskError,
     TimeoutError_,
     WorkerCrashedError,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "init",
@@ -76,11 +90,16 @@ __all__ = [
     "get_runtime",
     "remote",
     "RemoteFunction",
+    "TaskOptions",
+    "ActorOptions",
     "ActorClass",
     "ActorHandle",
     "get",
     "wait",
     "put",
+    "cancel",
+    "get_actor",
+    "as_completed",
     "sleep",
     "now",
     "ObjectRef",
@@ -88,6 +107,7 @@ __all__ = [
     "Get",
     "Put",
     "Wait",
+    "Cancel",
     "ActorCreate",
     "ActorCall",
     "ReproError",
@@ -97,6 +117,7 @@ __all__ = [
     "SchedulingError",
     "GetTimeoutError",
     "TimeoutError_",
+    "TaskCancelledError",
     "ActorLostError",
     "WorkerCrashedError",
     "__version__",

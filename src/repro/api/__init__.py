@@ -1,7 +1,7 @@
-"""The programming model of Section 3.1, plus stateful actors.
+"""The programming model of Section 3.1, plus actors and task lifecycle.
 
 >>> import repro
->>> repro.init(backend="sim", num_nodes=4, num_cpus=8)
+>>> runtime = repro.init(backend="sim", num_nodes=4, num_cpus=8)
 >>> @repro.remote
 ... def add(x, y):
 ...     return x + y
@@ -9,10 +9,19 @@
 >>> repro.get(ref)
 3
 >>> done, pending = repro.wait([ref], num_returns=1, timeout=1.0)
+>>> @repro.remote(num_returns=2)
+... def divmod_task(a, b):
+...     return a // b, a % b
+>>> quot, rem = divmod_task.remote(17, 5)   # a tuple of two refs
+>>> repro.get(rem)
+2
+>>> refs = [add.remote(i, i) for i in range(3)]
+>>> sorted(repro.get(list(repro.as_completed(refs))))
+[0, 2, 4]
 >>> repro.shutdown()
 
 The API elements map one-to-one onto the paper's list (1–5) and its
-successor systems' actor extension (6):
+successor systems' extensions (6–8):
 
 1. task creation is non-blocking (``.remote()`` returns a future at once);
 2. arbitrary functions are remote tasks, and futures passed as arguments
@@ -42,6 +51,18 @@ successor systems' actor extension (6):
    same observable semantics, including failure semantics (lineage
    replay for stateless tasks, ``ActorLostError`` for lost actors,
    ``WorkerCrashedError`` when replay is off or exhausted).
+8. tasks have a **first-class lifecycle** beyond completion, configured
+   through one options layer (``TaskOptions`` / ``ActorOptions``, shared
+   by ``@remote(...)``, ``.options(...)``, and ``submit_task``):
+   ``num_returns=k`` makes ``.remote()`` return a tuple of k
+   independently consumable refs; ``cancel(ref)`` revokes a task — never
+   executed if it had not started, result discarded (and
+   ``TaskCancelledError`` at ``get``) if it had, refused for actor calls
+   whose ordered state history cannot be holed; ``Cls.options(name=...)``
+   plus ``get_actor(name)`` give actors runtime-wide names; and
+   ``as_completed(refs, timeout=...)`` iterates futures in completion
+   order for pipelined consumption — all implemented once in the shared
+   core, held to identical observable semantics on every backend.
 
 All of it runs identically on every registered backend; see
 :mod:`repro.core.backend`.
@@ -49,7 +70,10 @@ All of it runs identically on every registered backend; see
 
 from repro.api.remote_function import RemoteFunction, remote
 from repro.api.runtime_context import (
+    as_completed,
+    cancel,
     get,
+    get_actor,
     get_runtime,
     init,
     is_initialized,
@@ -59,7 +83,8 @@ from repro.api.runtime_context import (
     sleep,
     wait,
 )
-from repro.core.actors import ActorClass, ActorHandle, ActorMethod
+from repro.core.actors import ActorClass, ActorHandle, ActorMethod, ActorOptions
+from repro.core.task import TaskOptions
 
 __all__ = [
     "init",
@@ -68,12 +93,17 @@ __all__ = [
     "get_runtime",
     "remote",
     "RemoteFunction",
+    "TaskOptions",
+    "ActorOptions",
     "ActorClass",
     "ActorHandle",
     "ActorMethod",
     "get",
     "wait",
     "put",
+    "cancel",
+    "get_actor",
+    "as_completed",
     "sleep",
     "now",
 ]

@@ -5,21 +5,68 @@ Applied to a function, ``@remote`` yields a :class:`RemoteFunction` whose
 an :class:`~repro.core.actors.ActorClass` whose ``.remote()`` creates a
 stateful actor and returns an :class:`~repro.core.actors.ActorHandle` —
 the sixth element of the programming model.
+
+Both handles are thin wrappers over the frozen options dataclasses
+(:class:`~repro.core.task.TaskOptions` /
+:class:`~repro.core.actors.ActorOptions`): the decorator's configured
+form, ``.options(...)`` overrides, and ``Backend.submit_task`` all share
+one validate/merge path, so the accepted option sets cannot drift between
+surfaces and every rejection names the offending option.
 """
 
 from __future__ import annotations
 
 import functools
 import inspect
+import weakref
 from typing import Any, Callable, Optional
 
 from repro.api import runtime_context
-from repro.core.actors import ActorClass
-from repro.core.object_ref import ObjectRef
-from repro.core.task import ResourceRequest
+from repro.core.actors import ActorClass, ActorOptions
+from repro.core.backend import next_runtime_epoch
+from repro.core.task import ResourceRequest, TaskOptions
 
-#: Sentinel distinguishing "not overridden" from an explicit None/0.
-_UNSET = object()
+#: Handles holding per-runtime function registrations, so a runtime
+#: shutdown can clear its epoch's entries from all of them.
+_live_handles: "weakref.WeakSet[RemoteFunction]" = weakref.WeakSet()
+
+#: Epochs for runtimes that cannot take new attributes (__slots__-style
+#: custom backends): keyed by the live instance, dying with it.
+_slots_epochs: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _runtime_epoch(runtime) -> int:
+    """The runtime's monotonic epoch (assigned lazily for direct
+    constructions that bypassed ``create_backend``).
+
+    Epochs are never reissued, unlike ``id(runtime)`` — a GC'd runtime's
+    address can be handed to a new runtime, which used to let a stale
+    registration leak a dead runtime's ``function_id`` into the new one.
+    """
+    epoch = getattr(runtime, "_repro_epoch", None)
+    if epoch is None:
+        try:
+            epoch = _slots_epochs.get(runtime)
+        except TypeError:  # unhashable/unweakrefable exotic runtime
+            epoch = None
+        if epoch is None:
+            epoch = next_runtime_epoch()
+            try:
+                runtime._repro_epoch = epoch
+            except AttributeError:  # __slots__-style custom backends
+                try:
+                    _slots_epochs[runtime] = epoch
+                except TypeError:
+                    pass  # one-call epoch; still never aliases another runtime
+    return epoch
+
+
+def clear_registrations(epoch: Optional[int]) -> None:
+    """Drop every handle's registration for a shut-down runtime epoch."""
+    if epoch is None:
+        return
+    for handle in list(_live_handles):
+        handle._registrations.pop(epoch, None)
 
 
 class RemoteFunction:
@@ -27,39 +74,32 @@ class RemoteFunction:
 
     Call ``.remote(*args)`` to submit; futures among the arguments become
     dataflow dependencies.  ``.options(...)`` returns a re-configured
-    handle (resources, modeled duration, placement hint) without mutating
-    this one.
+    copy (resources, modeled duration, placement hint, ``num_returns``,
+    display ``name``) without mutating this one; overrides compose
+    left-to-right through :meth:`TaskOptions.merged`.
     """
 
     def __init__(
         self,
         function: Callable,
-        num_cpus: int = 1,
-        num_gpus: int = 0,
-        duration: Any = None,
-        max_reconstructions: int = 3,
-        placement_hint: Any = None,
-        name: Optional[str] = None,
+        options: Optional[TaskOptions] = None,
+        **overrides: Any,
     ) -> None:
         if not callable(function):
             raise TypeError(f"@remote expects a callable, got {type(function).__name__}")
         self._function = function
-        self._name = name or getattr(function, "__name__", "anonymous")
-        self._resources = ResourceRequest(num_cpus=num_cpus, num_gpus=num_gpus)
-        self._duration = duration
-        self._max_reconstructions = max_reconstructions
-        self._placement_hint = placement_hint
-        #: function-table registration per runtime instance.
+        self._options = (options or TaskOptions()).merged(**overrides)
+        #: function-table registration per runtime epoch.
         self._registrations: dict[int, Any] = {}
         functools.update_wrapper(self, function)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"RemoteFunction({self._name})"
+        return f"RemoteFunction({self.name})"
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         raise TypeError(
-            f"remote function {self._name!r} cannot be called directly; "
-            f"use {self._name}.remote(...) (or .local(...) to run in-process)"
+            f"remote function {self.name!r} cannot be called directly; "
+            f"use {self.name}.remote(...) (or .local(...) to run in-process)"
         )
 
     def local(self, *args: Any, **kwargs: Any) -> Any:
@@ -72,65 +112,63 @@ class RemoteFunction:
 
     @property
     def name(self) -> str:
-        return self._name
-
-    def options(
-        self,
-        num_cpus: Optional[int] = None,
-        num_gpus: Optional[int] = None,
-        duration: Any = _UNSET,
-        max_reconstructions: Optional[int] = None,
-        placement_hint: Any = _UNSET,
-    ) -> "RemoteFunction":
-        """A copy of this handle with overridden submission options."""
-        return RemoteFunction(
-            self._function,
-            num_cpus=self._resources.num_cpus if num_cpus is None else num_cpus,
-            num_gpus=self._resources.num_gpus if num_gpus is None else num_gpus,
-            duration=self._duration if duration is _UNSET else duration,
-            max_reconstructions=(
-                self._max_reconstructions
-                if max_reconstructions is None
-                else max_reconstructions
-            ),
-            placement_hint=(
-                self._placement_hint if placement_hint is _UNSET else placement_hint
-            ),
-            name=self._name,
+        return self._options.name or getattr(
+            self._function, "__name__", "anonymous"
         )
 
-    def _function_id(self, runtime) -> Any:
-        key = id(runtime)
-        if key not in self._registrations:
-            self._registrations[key] = runtime.register_function(
-                self._function, self._name
-            )
-        return self._registrations[key]
+    @property
+    def submit_options(self) -> TaskOptions:
+        return self._options
 
-    def remote(self, *args: Any, **kwargs: Any) -> ObjectRef:
-        """Submit one invocation; returns its future immediately."""
+    # -- compatibility views over the options (pre-TaskOptions names) ----
+    @property
+    def _resources(self) -> ResourceRequest:
+        return self._options.resources
+
+    @property
+    def _duration(self) -> Any:
+        return self._options.duration
+
+    @property
+    def _placement_hint(self) -> Any:
+        return self._options.placement_hint
+
+    def options(self, **overrides: Any) -> "RemoteFunction":
+        """A copy of this handle with overridden submission options.
+
+        The original handle is never mutated; unknown or invalid options
+        raise an error naming the offending option.
+        """
+        return RemoteFunction(self._function, self._options.merged(**overrides))
+
+    def _function_id(self, runtime) -> Any:
+        epoch = _runtime_epoch(runtime)
+        if epoch not in self._registrations:
+            self._registrations[epoch] = runtime.register_function(
+                self._function, self.name
+            )
+            _live_handles.add(self)
+        return self._registrations[epoch]
+
+    def remote(self, *args: Any, **kwargs: Any) -> Any:
+        """Submit one invocation; returns its future(s) immediately.
+
+        With ``num_returns=1`` (the default) this is one
+        :class:`~repro.core.object_ref.ObjectRef`; with ``num_returns=k``
+        it is a tuple of k refs, each independently gettable/waitable.
+        """
         runtime = runtime_context.get_runtime()
         return runtime.submit_task(
             function=self._function,
             function_id=self._function_id(runtime),
-            function_name=self._name,
+            function_name=self.name,
             args=args,
             kwargs=kwargs,
-            resources=self._resources,
-            duration=self._duration,
-            placement_hint=self._placement_hint,
-            max_reconstructions=self._max_reconstructions,
+            options=self._options,
         )
 
 
-def remote(
-    function: Optional[Callable] = None,
-    *,
-    num_cpus: int = 1,
-    num_gpus: int = 0,
-    duration: Any = None,
-    max_reconstructions: int = 3,
-):
+def remote(function: Optional[Callable] = None, **options: Any):
     """Designate a function as a remote task, or a class as an actor.
 
     Bare forms::
@@ -142,14 +180,24 @@ def remote(
         class Counter:         # Counter.remote() -> ActorHandle
             def incr(self): ...
 
-    Configured form (heterogeneous resources, R4; modeled sim duration)::
+    Configured form (heterogeneous resources, R4; modeled sim duration;
+    multiple returns; display name; placement)::
 
         @remote(num_gpus=1, duration=0.003)
         def fit(params, batch): ...
 
+        @remote(num_returns=2)
+        def split(xs): return xs[::2], xs[1::2]
+
+    Every task option accepted here is exactly the
+    :class:`~repro.core.task.TaskOptions` field set (functions) or the
+    :class:`~repro.core.actors.ActorOptions` field set (classes); an
+    option valid for one but not the other — e.g. ``num_returns`` on an
+    actor class — is rejected by name instead of silently dropped.
+
     ``duration`` models virtual compute time on the simulated backend: a
     float (seconds) or a callable ``(rng, args) -> float`` sampled per
-    attempt.  It is ignored by the threaded backend, where time is real
+    attempt.  It is ignored by the real-time backends, where time is real
     (and by actors, whose methods cost what they cost).
     """
     if function is not None:
@@ -159,13 +207,7 @@ def remote(
 
     def decorator(inner: Callable):
         if inspect.isclass(inner):
-            return ActorClass(inner, num_cpus=num_cpus, num_gpus=num_gpus)
-        return RemoteFunction(
-            inner,
-            num_cpus=num_cpus,
-            num_gpus=num_gpus,
-            duration=duration,
-            max_reconstructions=max_reconstructions,
-        )
+            return ActorClass(inner, ActorOptions().merged(**options))
+        return RemoteFunction(inner, TaskOptions().merged(**options))
 
     return decorator

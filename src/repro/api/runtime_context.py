@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
+from repro.core import lifecycle as _lifecycle
 from repro.core.backend import create_backend
 from repro.core.object_ref import ObjectRef
 from repro.errors import BackendError
@@ -60,11 +61,20 @@ def init(backend: str = "sim", **kwargs: Any):
 
 
 def shutdown() -> None:
-    """Stop the current runtime (idempotent)."""
+    """Stop the current runtime (idempotent).
+
+    Also clears the shut-down runtime's per-epoch function registrations
+    from every :class:`~repro.api.remote_function.RemoteFunction` handle,
+    so a handle can never resolve to a dead runtime's function table.
+    """
     global _current_runtime
     if _current_runtime is not None:
+        from repro.api import remote_function
+
+        epoch = getattr(_current_runtime, "_repro_epoch", None)
         _current_runtime.shutdown()
         _current_runtime = None
+        remote_function.clear_registrations(epoch)
 
 
 def is_initialized() -> bool:
@@ -101,6 +111,43 @@ def wait(
 def put(value: Any) -> ObjectRef:
     """Store a value in the object store; returns a future for it."""
     return get_runtime().put(value)
+
+
+def cancel(ref: ObjectRef, recursive: bool = False) -> bool:
+    """Cancel the task producing ``ref``; returns whether it took effect.
+
+    A task that has not started never executes; a running task keeps
+    running but its result is discarded.  Either way every ``get`` on the
+    task's refs raises :class:`repro.errors.TaskCancelledError`.  Returns
+    ``False`` when the task already finished.  ``recursive=True`` also
+    cancels not-yet-started tasks parked on the cancelled task's outputs,
+    transitively.  Actor method calls refuse cancellation with a
+    :class:`ValueError` (their ordered state history cannot be holed).
+    """
+    return get_runtime().cancel(ref, recursive=recursive)
+
+
+def get_actor(name: str):
+    """Look up a live named actor created via ``Cls.options(name=...)``.
+
+    Returns the same :class:`~repro.core.actors.ActorHandle` the creating
+    call received.  Unknown names raise :class:`ValueError`; a named
+    actor whose state died with its node raises
+    :class:`repro.errors.ActorLostError`.
+    """
+    return get_runtime().get_actor(name)
+
+
+def as_completed(
+    refs: Sequence[ObjectRef], timeout: Optional[float] = None
+) -> Iterator[ObjectRef]:
+    """Iterate ``refs`` in completion order (built on ``wait``).
+
+    ``timeout`` bounds the total time across the whole iteration in the
+    runtime's clock (virtual on sim); expiry raises
+    :class:`repro.errors.GetTimeoutError`.
+    """
+    return _lifecycle.as_completed(get_runtime(), refs, timeout=timeout)
 
 
 def sleep(duration: float) -> None:

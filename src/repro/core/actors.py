@@ -30,14 +30,39 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.object_ref import ObjectRef
-from repro.core.task import ResourceRequest, TaskSpec
+from repro.core.task import OptionsBase, ResourceRequest, TaskSpec
+from repro.errors import ActorLostError
 from repro.utils.ids import ActorID, NodeID
 
 #: ``TaskSpec.actor_method`` value marking the constructor task.
 CREATION_METHOD = "__init__"
 
-#: Sentinel distinguishing "not overridden" from an explicit None.
-_UNSET = object()
+
+@dataclass(frozen=True)
+class ActorOptions(OptionsBase):
+    """Every per-creation knob of an actor submission.
+
+    The actor-side sibling of :class:`~repro.core.task.TaskOptions`,
+    built on the same validate/merge machinery, so ``Cls.options(...)``
+    and ``fn.options(...)`` stay symmetric by construction: an option one
+    accepts and the other does not is rejected *by name* rather than
+    silently dropped.
+
+    ``name``
+        Registers the created actor under a runtime-wide name:
+        ``Cls.options(name="ps").remote()`` +  ``repro.get_actor("ps")``.
+        Creating a second live actor under the same name is an error.
+    """
+
+    num_cpus: int = 1
+    num_gpus: int = 0
+    placement_hint: Optional[NodeID] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self._check_resources()
+        if self.name == "":
+            raise ValueError("invalid option name='': actor names must be non-empty")
 
 
 class _RemoteInstance:
@@ -79,13 +104,19 @@ class ActorRecord:
     last_call_ref: Optional[ObjectRef] = None
     num_calls: int = 0
     methods_executed: int = 0
+    #: Runtime-wide name (``ActorOptions.name``); None for anonymous actors.
+    name: Optional[str] = None
+    #: The user-facing handle, kept so ``get_actor(name)`` can return an
+    #: identical handle (same method surface) as the creating call did.
+    handle: Any = None
 
 
 class ActorRegistry:
-    """The runtime's actor table."""
+    """The runtime's actor table (including the named-actor index)."""
 
     def __init__(self) -> None:
         self._records: dict[ActorID, ActorRecord] = {}
+        self._names: dict[str, ActorID] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -96,18 +127,34 @@ class ActorRegistry:
         class_name: str,
         resources: ResourceRequest,
         node_id: Optional[NodeID],
+        name: Optional[str] = None,
     ) -> ActorRecord:
+        if name is not None:
+            holder = self.by_name(name)
+            if holder is not None and not holder.dead:
+                raise ValueError(
+                    f"actor name {name!r} is already taken by a live "
+                    f"{holder.class_name} actor; names must be unique "
+                    "per runtime"
+                )
         record = ActorRecord(
             actor_id=actor_id,
             class_name=class_name,
             resources=resources,
             node_id=node_id,
+            name=name,
         )
         self._records[actor_id] = record
+        if name is not None:
+            self._names[name] = actor_id
         return record
 
     def get(self, actor_id: ActorID) -> Optional[ActorRecord]:
         return self._records.get(actor_id)
+
+    def by_name(self, name: str) -> Optional[ActorRecord]:
+        actor_id = self._names.get(name)
+        return self._records.get(actor_id) if actor_id is not None else None
 
     def is_dead(self, actor_id: ActorID) -> bool:
         record = self._records.get(actor_id)
@@ -197,6 +244,31 @@ def chain_submission(record: ActorRecord, spec: TaskSpec) -> None:
     """Advance the actor's call chain: the next call depends on this one."""
     record.last_call_ref = spec.result_ref()
     record.num_calls += 1
+
+
+def get_actor_handle(registry: ActorRegistry, name: str):
+    """Resolve a named actor to its handle — the shared ``get_actor``.
+
+    Raises :class:`ValueError` for unknown names and
+    :class:`~repro.errors.ActorLostError` when the named actor's state
+    died with its node, with identical text on every backend.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"get_actor expects a non-empty actor name, got {name!r}"
+        )
+    record = registry.by_name(name)
+    if record is None:
+        raise ValueError(
+            f"no actor named {name!r}; names are assigned at creation via "
+            "Cls.options(name=...).remote()"
+        )
+    if record.dead:
+        raise ActorLostError(
+            record.actor_id, record.class_name,
+            f"the actor named {name!r} was lost and cannot be looked up",
+        )
+    return record.handle
 
 
 # ----------------------------------------------------------------------
@@ -343,32 +415,30 @@ class ActorClass:
 
     ``.remote(*args)`` creates one actor instance somewhere on the
     cluster and returns an :class:`ActorHandle` immediately;
-    ``.options(...)`` reconfigures resources/placement without mutating
-    this factory, mirroring :class:`~repro.api.remote_function.RemoteFunction`.
+    ``.options(...)`` returns a copy with overridden
+    :class:`ActorOptions` without mutating this factory, mirroring
+    :class:`~repro.api.remote_function.RemoteFunction` (both are thin
+    wrappers over the same options machinery).
     """
 
     def __init__(
         self,
         cls: type,
-        num_cpus: int = 1,
-        num_gpus: int = 0,
-        placement_hint: Any = None,
-        name: Optional[str] = None,
+        options: Optional[ActorOptions] = None,
+        **overrides: Any,
     ) -> None:
         if not inspect.isclass(cls):
             raise TypeError(f"ActorClass expects a class, got {type(cls).__name__}")
         self._cls = cls
-        self._name = name or cls.__name__
-        self._resources = ResourceRequest(num_cpus=num_cpus, num_gpus=num_gpus)
-        self._placement_hint = placement_hint
+        self._options = (options or ActorOptions()).merged(**overrides)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ActorClass({self._name})"
+        return f"ActorClass({self.name})"
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         raise TypeError(
-            f"actor class {self._name!r} cannot be instantiated directly; "
-            f"use {self._name}.remote(...) (or .local(...) for an in-process "
+            f"actor class {self.name!r} cannot be instantiated directly; "
+            f"use {self.name}.remote(...) (or .local(...) for an in-process "
             "instance)"
         )
 
@@ -382,32 +452,28 @@ class ActorClass:
 
     @property
     def name(self) -> str:
-        return self._name
+        return self._cls.__name__
+
+    @property
+    def creation_options(self) -> ActorOptions:
+        return self._options
 
     @property
     def resources(self) -> ResourceRequest:
-        return self._resources
+        return self._options.resources
 
     @property
     def placement_hint(self) -> Any:
-        return self._placement_hint
+        return self._options.placement_hint
 
-    def options(
-        self,
-        num_cpus: Optional[int] = None,
-        num_gpus: Optional[int] = None,
-        placement_hint: Any = _UNSET,
-    ) -> "ActorClass":
-        """A copy of this factory with overridden creation options."""
-        return ActorClass(
-            self._cls,
-            num_cpus=self._resources.num_cpus if num_cpus is None else num_cpus,
-            num_gpus=self._resources.num_gpus if num_gpus is None else num_gpus,
-            placement_hint=(
-                self._placement_hint if placement_hint is _UNSET else placement_hint
-            ),
-            name=self._name,
-        )
+    def options(self, **overrides: Any) -> "ActorClass":
+        """A copy of this factory with overridden creation options.
+
+        Overrides compose left-to-right and validate exactly like
+        ``RemoteFunction.options``; unknown or invalid options raise an
+        error naming the offending option.
+        """
+        return ActorClass(self._cls, self._options.merged(**overrides))
 
     def remote(self, *args: Any, **kwargs: Any) -> ActorHandle:
         """Create one actor; returns its handle immediately (non-blocking)."""
@@ -416,11 +482,12 @@ class ActorClass:
         runtime = runtime_context.get_runtime()
         return runtime.create_actor(
             actor_class=self._cls,
-            class_name=self._name,
+            class_name=self.name,
             args=args,
             kwargs=kwargs,
-            resources=self._resources,
-            placement_hint=self._placement_hint,
+            resources=self._options.resources,
+            placement_hint=self._options.placement_hint,
+            name=self._options.name,
         )
 
 
@@ -445,6 +512,7 @@ def create_from_effect(runtime, effect) -> ActorHandle:
         kwargs=dict(effect.kwargs),
         resources=factory.resources,
         placement_hint=factory.placement_hint,
+        name=factory.creation_options.name,
     )
 
 

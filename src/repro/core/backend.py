@@ -23,13 +23,26 @@ the system that serves it.  This module makes that separation literal:
 from __future__ import annotations
 
 import inspect
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.object_ref import ObjectRef
-from repro.core.task import ResourceRequest
+from repro.core.task import ResourceRequest, TaskOptions
 from repro.errors import BackendError
 from repro.utils.ids import FunctionID, NodeID
+
+#: Monotonic epochs stamped onto every backend instance.  Unlike
+#: ``id(runtime)`` — whose address the allocator happily reuses after a
+#: runtime is garbage-collected — an epoch is never reissued, so anything
+#: keyed by it (e.g. per-runtime function registrations) can never alias
+#: a dead runtime's state.
+_EPOCHS = itertools.count(1)
+
+
+def next_runtime_epoch() -> int:
+    """Allocate a fresh, never-reused runtime epoch."""
+    return next(_EPOCHS)
 
 
 @dataclass(frozen=True)
@@ -83,11 +96,11 @@ class Backend(Protocol):
         function_name: str,
         args: tuple,
         kwargs: dict,
-        resources: ResourceRequest,
-        duration: Any = None,
-        placement_hint: Optional[NodeID] = None,
-        max_reconstructions: int = 3,
-    ) -> ObjectRef: ...
+        options: Optional[TaskOptions] = None,
+    ) -> Any: ...
+    # (returns one ObjectRef, or a tuple of num_returns refs; the
+    # per-kwarg legacy form every runtime still accepts is a deprecated
+    # shim over options=TaskOptions(...), see core.task.resolve_task_options)
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any: ...
 
@@ -99,6 +112,8 @@ class Backend(Protocol):
     ) -> tuple: ...
 
     def put(self, value: Any) -> ObjectRef: ...
+
+    def cancel(self, ref: ObjectRef, recursive: bool = False) -> bool: ...
 
     def sleep(self, duration: float) -> None: ...
 
@@ -114,6 +129,7 @@ class Backend(Protocol):
         kwargs: dict,
         resources: ResourceRequest,
         placement_hint: Optional[NodeID] = None,
+        name: Optional[str] = None,
     ) -> Any: ...
 
     def call_actor(
@@ -123,6 +139,8 @@ class Backend(Protocol):
         args: tuple,
         kwargs: dict,
     ) -> ObjectRef: ...
+
+    def get_actor(self, name: str) -> Any: ...
 
 
 #: name -> zero-arg loader returning the backend factory (a callable that
@@ -214,7 +232,13 @@ def create_backend(name: str, **kwargs: Any) -> Any:
         )
     factory = loader()
     _check_init_kwargs(name, factory, kwargs)
-    return factory(**kwargs)
+    instance = factory(**kwargs)
+    if getattr(instance, "_repro_epoch", None) is None:
+        try:
+            instance._repro_epoch = next_runtime_epoch()
+        except AttributeError:  # __slots__-style custom backends
+            pass
+    return instance
 
 
 def _load_sim() -> Callable[..., Any]:

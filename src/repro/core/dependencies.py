@@ -68,6 +68,10 @@ class DependencyTracker:
     def is_waiting(self, task_id: TaskID) -> bool:
         return task_id in self._specs
 
+    def spec_for(self, task_id: TaskID) -> TaskSpec | None:
+        """The parked spec for a task id, if it is still parked."""
+        return self._specs.get(task_id)
+
     def missing_for(self, task_id: TaskID) -> set[ObjectID]:
         """Objects a parked task is still waiting on (copy)."""
         return set(self._missing.get(task_id, ()))

@@ -21,7 +21,7 @@ from __future__ import annotations
 import types
 from typing import Any, Generator, Optional
 
-from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
+from repro.core.effects import ActorCall, ActorCreate, Cancel, Compute, Get, Put, Wait
 from repro.core.task import TaskSpec
 from repro.errors import ReproError
 
@@ -58,6 +58,9 @@ class EffectHandler:
     def on_put(self, effect: Put) -> Any:
         raise NotImplementedError
 
+    def on_cancel(self, effect: Cancel) -> Any:
+        raise NotImplementedError
+
     def on_actor_create(self, effect: ActorCreate) -> Any:
         raise NotImplementedError
 
@@ -70,6 +73,7 @@ _DISPATCH = (
     (Get, "on_get"),
     (Wait, "on_wait"),
     (Put, "on_put"),
+    (Cancel, "on_cancel"),
     (ActorCreate, "on_actor_create"),
     (ActorCall, "on_actor_call"),
 )
@@ -118,9 +122,10 @@ def effect_loop(
             send_value = outcome
         except handler.passthrough:
             raise
-        except ReproError as exc:
-            # Recoverable framework failure: surface it inside the body so
-            # user code can handle or propagate it (R7).
+        except (ReproError, TypeError, ValueError) as exc:
+            # Recoverable framework failure or argument-validation error
+            # (e.g. cancelling an actor call): surface it inside the body
+            # so user code can handle or propagate it (R7).
             throw_exc = exc
 
 

@@ -70,6 +70,20 @@ class Put:
 
 
 @dataclass(frozen=True)
+class Cancel:
+    """Cancel the task producing ``ref`` from inside a task body.
+
+    ``yield Cancel(ref)`` evaluates to the same bool ``repro.cancel``
+    returns: True if the target will never produce a normal result,
+    False if it already finished.  ``recursive=True`` also cancels
+    not-yet-started tasks parked on the target's outputs.
+    """
+
+    ref: Any  # ObjectRef
+    recursive: bool = False
+
+
+@dataclass(frozen=True)
 class ActorCreate:
     """Create a stateful actor from inside a task body.
 

@@ -1,0 +1,186 @@
+"""Backend-independent ObjectRef lifecycle: cancel and as_completed.
+
+The paper's five API elements cover creation, dataflow, and ``get`` /
+``wait``; bounded-latency control loops (R1) and dynamic task graphs (R3)
+also need the *other* end of a future's life — giving up on it.  This
+module is that surface, implemented once for every backend:
+
+* :func:`cancel` — revoke a submitted task through its ref.  A task that
+  has not started never executes (provably: its function is never
+  called); a running task keeps running but its result is discarded and
+  every ``get`` raises :class:`~repro.errors.TaskCancelledError`; a
+  finished task is left alone (``cancel`` returns ``False``).  Actor
+  method calls refuse cancellation outright: skipping one call would
+  silently corrupt the actor's totally-ordered state history.
+* :func:`as_completed` — iterate refs in completion order, built on the
+  paper's ``wait`` primitive, for pipelined consumption without the
+  hand-rolled wait loop.
+
+Backends participate through a tiny hook surface instead of reimplementing
+the semantics: a :class:`LifecycleIndex` (the spec-by-object index plus
+the cancelled set), a lock (``_lifecycle_guard``), a result-readiness
+probe, an error-result writer, and a parked-dependents listing for
+``recursive=True``.  Execution paths consult ``is_cancelled`` at dispatch
+time (never run) and at result-store time (discard), which is what holds
+sim, local, and proc to identical observable cancellation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.object_ref import ObjectRef
+from repro.core.task import TaskSpec
+from repro.errors import GetTimeoutError
+from repro.utils.ids import ObjectID, TaskID
+
+
+class LifecycleIndex:
+    """Per-runtime task-lifecycle bookkeeping shared by every backend.
+
+    Maps each return object to its producing spec (so a ref can be
+    cancelled without a task handle) and records which tasks have been
+    cancelled (so schedulers can drop them at dispatch time and workers
+    can discard late results).  Deliberately unsynchronized: callers hold
+    their runtime's own lock (the sim backend is single-threaded).
+    """
+
+    def __init__(self) -> None:
+        self._by_object: dict[ObjectID, TaskSpec] = {}
+        self._cancelled: set[TaskID] = set()
+
+    def register(self, spec: TaskSpec) -> None:
+        """Index a submitted spec under every object it will produce."""
+        for object_id in spec.all_return_ids():
+            self._by_object[object_id] = spec
+
+    def spec_for(self, object_id: ObjectID) -> Optional[TaskSpec]:
+        return self._by_object.get(object_id)
+
+    def mark_cancelled(self, task_id: TaskID) -> None:
+        self._cancelled.add(task_id)
+
+    def is_cancelled(self, task_id: TaskID) -> bool:
+        return task_id in self._cancelled
+
+    @property
+    def cancelled_count(self) -> int:
+        return len(self._cancelled)
+
+
+def cancel(runtime, ref: ObjectRef, recursive: bool = False) -> bool:
+    """Cancel the task producing ``ref`` (shared across all backends).
+
+    Returns ``True`` when the cancellation took effect — the task will
+    never produce a normal result and every ``get`` on its refs raises
+    :class:`~repro.errors.TaskCancelledError` — and ``False`` when it
+    came too late (the task already finished).
+
+    ``recursive=True`` additionally cancels not-yet-started tasks parked
+    on the cancelled task's outputs, transitively, so an abandoned
+    subgraph is torn down without executing its propagation chain.
+
+    Raises
+    ------
+    TypeError
+        ``ref`` is not an :class:`ObjectRef`.
+    ValueError
+        ``ref`` was produced by ``put()`` (there is no task to cancel) or
+        by an actor method call (skipping one would corrupt the actor's
+        ordered state history; actor tasks must run or fail as a chain).
+    """
+    if not isinstance(ref, ObjectRef):
+        raise TypeError(f"cancel expects an ObjectRef, got {type(ref).__name__}")
+    with runtime._lifecycle_guard():
+        return _cancel_locked(runtime, ref.object_id, recursive)
+
+
+def _cancel_locked(runtime, object_id: ObjectID, recursive: bool) -> bool:
+    index: LifecycleIndex = runtime._lifecycle
+    spec = index.spec_for(object_id)
+    if spec is None:
+        raise ValueError(
+            f"cannot cancel {object_id}: the ref was not produced by a "
+            "task (objects from put() have no task to cancel)"
+        )
+    if spec.actor_id is not None:
+        raise ValueError(
+            f"cannot cancel actor task {spec.function_name!r}: actor "
+            "method calls execute in submission order against shared "
+            "state and skipping one would corrupt it"
+        )
+    if index.is_cancelled(spec.task_id):
+        return True
+    if runtime._result_ready(spec.return_object_id):
+        return False  # finished first; nothing to revoke
+    # Collect parked dependents *before* storing the cancellation marker:
+    # storing it wakes them, and a woken task is no longer parked.
+    children: list[TaskSpec] = []
+    if recursive:
+        for produced in spec.all_return_ids():
+            children.extend(runtime._parked_dependents(produced))
+    index.mark_cancelled(spec.task_id)
+    runtime._store_cancelled(spec)
+    for child in children:
+        # Parked actor calls are skipped: their chain must stay ordered,
+        # and the stored marker reaches them as an upstream error anyway.
+        if child.actor_id is None and not index.is_cancelled(child.task_id):
+            _cancel_locked(runtime, child.return_object_id, recursive)
+    return True
+
+
+def parked_dependents(deps, object_id: ObjectID) -> list:
+    """Specs parked in a :class:`~repro.core.dependencies.DependencyTracker`
+    waiting on ``object_id``, in deterministic task-id order — the
+    ``recursive=True`` collection step, shared so the backends cannot
+    drift in ordering or staleness handling."""
+    dependents = []
+    for task_id in sorted(deps.waiters_for(object_id), key=lambda t: t.hex):
+        spec = deps.spec_for(task_id)
+        if spec is not None:
+            dependents.append(spec)
+    return dependents
+
+
+def cancelled_error_value(spec: TaskSpec, detail: str):
+    """The stored result for a cancelled task (kind-tagged so ``get``
+    raises TaskCancelledError, and downstream propagation keeps it)."""
+    from repro.core.worker import ErrorValue
+
+    return ErrorValue(
+        task_id=spec.task_id,
+        function_name=spec.function_name,
+        cause_repr=detail,
+        chain=(spec.function_name,),
+        kind="cancelled",
+    )
+
+
+def as_completed(
+    runtime, refs: Iterable[ObjectRef], timeout: Optional[float] = None
+) -> Iterator[ObjectRef]:
+    """Yield ``refs`` in completion order (built on the ``wait`` primitive).
+
+    ``timeout`` bounds the *total* wall (or virtual) time across the whole
+    iteration; expiry raises :class:`~repro.errors.GetTimeoutError`
+    naming how many refs were still pending.  Refs that complete together
+    are yielded together, in input order, like one ``wait`` round.
+    """
+    pending = list(refs)
+    for ref in pending:
+        if not isinstance(ref, ObjectRef):
+            raise TypeError(
+                f"as_completed expects ObjectRefs, got {type(ref).__name__}"
+            )
+    deadline = None if timeout is None else runtime.now + timeout
+    while pending:
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - runtime.now)
+        ready, pending = runtime.wait(pending, num_returns=1, timeout=remaining)
+        if not ready:
+            raise GetTimeoutError(
+                f"as_completed timed out after {timeout}s with "
+                f"{len(pending)} of its refs still pending"
+            )
+        yield from ready

@@ -11,11 +11,13 @@ the simulated and threaded backends.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from repro.cluster.costs import SystemCosts
 from repro.cluster.network import NetworkModel
 from repro.cluster.spec import ClusterSpec
+from repro.core import lifecycle
 from repro.core.actors import (
     CREATION_METHOD,
     ActorHandle,
@@ -24,12 +26,21 @@ from repro.core.actors import (
     build_call_spec,
     build_creation_spec,
     chain_submission,
+    get_actor_handle,
     handle_for,
 )
 from repro.core.driver import Driver
+from repro.core.lifecycle import LifecycleIndex, cancelled_error_value
 from repro.core.object_ref import ObjectRef
 from repro.core.protocol import check_cluster_feasible, unwrap_value
-from repro.core.task import ResourceRequest, TaskSpec
+from repro.core.task import (
+    ResourceRequest,
+    TaskSpec,
+    TaskState,
+    _UNSET,
+    build_task_spec,
+    resolve_task_options,
+)
 from repro.core.worker import ErrorValue, Worker, WorkerContext
 from repro.errors import BackendError, ObjectLostError, SchedulingError
 from repro.fault.lineage import LineageManager
@@ -167,9 +178,10 @@ class SimRuntime:
         if enable_failure_monitor:
             self.sim.spawn(self.monitor.run(), name="failure-monitor")
 
-        # -- function registry, actor table, and driver -----------------------
+        # -- function registry, actor table, lifecycle, and driver ------------
         self._functions: dict[FunctionID, Callable] = {}
         self.actors = ActorRegistry()
+        self._lifecycle = LifecycleIndex()
         self._worker_context_stack: list[WorkerContext] = []
         self.driver = Driver(self)
 
@@ -250,32 +262,42 @@ class SimRuntime:
         function: Callable,
         function_id: FunctionID,
         function_name: str,
-        args: tuple,
-        kwargs: dict,
-        resources: ResourceRequest,
-        duration: Any = None,
-        placement_hint: Optional[NodeID] = None,
-        max_reconstructions: int = 3,
-    ) -> ObjectRef:
-        """Create and submit a task; returns its future immediately."""
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        options: Any = None,
+        resources: Optional[ResourceRequest] = None,
+        duration: Any = _UNSET,
+        placement_hint: Any = _UNSET,
+        max_reconstructions: Optional[int] = None,
+    ) -> Any:
+        """Create and submit a task; returns its future(s) immediately.
+
+        All per-invocation configuration rides in ``options``
+        (:class:`~repro.core.task.TaskOptions`); the per-kwarg form is a
+        deprecated shim.  ``num_returns=k`` options make this return a
+        tuple of k refs instead of one.
+        """
         self._check_open()
-        check_cluster_feasible(self.cluster, resources, function_name)
-        context = self.current_worker_context()
-        spec = TaskSpec(
-            task_id=self.ids.task_id(),
-            function_id=function_id,
-            function_name=function_name,
-            function=function,
-            args=tuple(args),
-            kwargs=dict(kwargs),
-            return_object_id=self.ids.object_id(),
-            resources=resources,
-            duration=duration,
-            submitted_from=context.node_id if context else self.head_node_id,
+        options = resolve_task_options(
+            options, resources=resources, duration=duration,
             placement_hint=placement_hint,
             max_reconstructions=max_reconstructions,
         )
-        return self._submit_spec(spec, context)
+        check_cluster_feasible(self.cluster, options.resources, function_name)
+        context = self.current_worker_context()
+        spec = build_task_spec(
+            self.ids,
+            function=function,
+            function_id=function_id,
+            function_name=function_name,
+            args=args,
+            kwargs=kwargs or {},
+            options=options,
+            submitted_from=context.node_id if context else self.head_node_id,
+        )
+        self._lifecycle.register(spec)
+        self._submit_spec(spec, context)
+        return spec.public_result()
 
     def _submit_spec(self, spec: TaskSpec, context: Optional[WorkerContext]) -> ObjectRef:
         if context is not None:
@@ -297,6 +319,7 @@ class SimRuntime:
         kwargs: dict,
         resources: ResourceRequest,
         placement_hint: Optional[NodeID] = None,
+        name: Optional[str] = None,
     ) -> ActorHandle:
         """Create a stateful actor; returns its handle immediately.
 
@@ -304,7 +327,8 @@ class SimRuntime:
         :class:`~repro.scheduling.policies.PlacementPolicy` the global
         scheduler uses, so the constructor task and every method call
         carry a placement hint that the ordinary spillover/global
-        scheduling path honors.
+        scheduling path honors.  ``name`` registers the actor for
+        :meth:`get_actor` lookup (collisions with a live holder raise).
         """
         self._check_open()
         check_cluster_feasible(
@@ -320,14 +344,21 @@ class SimRuntime:
         if node_id is None or not self.node_alive(node_id):
             node_id = self._place_actor(spec, resources)
         spec.placement_hint = node_id
-        record = self.actors.create(actor_id, class_name, resources, node_id)
+        record = self.actors.create(actor_id, class_name, resources, node_id, name=name)
         chain_submission(record, spec)
+        self._lifecycle.register(spec)
+        record.handle = handle_for(record, actor_class)
         self.control_plane.log(
             "actor_create_submitted", actor_id=actor_id, node=node_id,
             class_name=class_name,
         )
         self._submit_spec(spec, context)
-        return handle_for(record, actor_class)
+        return record.handle
+
+    def get_actor(self, name: str) -> ActorHandle:
+        """Look up a live named actor's handle (shared semantics)."""
+        self._check_open()
+        return get_actor_handle(self.actors, name)
 
     def _place_actor(self, spec: TaskSpec, resources: ResourceRequest) -> NodeID:
         """Pick the actor's home node from live scheduler state."""
@@ -379,6 +410,7 @@ class SimRuntime:
             context.node_id if context else self.head_node_id,
         )
         chain_submission(record, spec)
+        self._lifecycle.register(spec)
         return self._submit_spec(spec, context)
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
@@ -395,6 +427,47 @@ class SimRuntime:
         self._check_open()
         self._forbid_worker_blocking("wait")
         return self.driver.wait(refs, num_returns=num_returns, timeout=timeout)
+
+    def cancel(self, ref: ObjectRef, recursive: bool = False) -> bool:
+        """Cancel the task producing ``ref`` (shared core semantics)."""
+        self._check_open()
+        return lifecycle.cancel(self, ref, recursive=recursive)
+
+    # -- lifecycle hooks (see repro.core.lifecycle) ---------------------
+
+    def task_cancelled(self, task_id) -> bool:
+        """Dispatch/store-time probe used by schedulers and workers."""
+        return self._lifecycle.is_cancelled(task_id)
+
+    @property
+    def has_cancelled_tasks(self) -> bool:
+        """Cheap guard so the no-cancellation hot path skips filtering."""
+        return self._lifecycle.cancelled_count > 0
+
+    def _lifecycle_guard(self):
+        return nullcontext()  # the sim backend is single-threaded
+
+    def _result_ready(self, object_id: ObjectID) -> bool:
+        entry = self.control_plane._objects.get(object_id)
+        return entry is not None and entry.ready
+
+    def _store_cancelled(self, spec: TaskSpec) -> None:
+        self.control_plane.log("task_cancelled", task_id=spec.task_id)
+        self._store_failure(
+            spec,
+            cancelled_error_value(spec, "cancelled before a result was produced"),
+            state=TaskState.CANCELLED,
+        )
+
+    def _parked_dependents(self, object_id: ObjectID) -> list:
+        dependents = []
+        for node_id in self.node_ids:
+            dependents.extend(
+                lifecycle.parked_dependents(
+                    self._schedulers[node_id].deps, object_id
+                )
+            )
+        return dependents
 
     def put(self, value: Any) -> ObjectRef:
         self._check_open()
@@ -678,16 +751,20 @@ class SimRuntime:
             ),
         )
 
-    def _store_failure(self, spec: TaskSpec, error: ErrorValue) -> None:
+    def _store_failure(
+        self, spec: TaskSpec, error: ErrorValue, state: str = TaskState.FAILED
+    ) -> None:
         def proc() -> Generator:
             data = serialize(error)
-            self.object_store(self.head_node_id).put(spec.return_object_id, data)
-            self.control_plane.async_object_add_location(
-                self.head_node_id, spec.return_object_id, self.head_node_id,
-                len(data), producer_task=spec.task_id,
-            )
+            store = self.object_store(self.head_node_id)
+            for object_id in spec.all_return_ids():
+                store.put(object_id, data)
+                self.control_plane.async_object_add_location(
+                    self.head_node_id, object_id, self.head_node_id,
+                    len(data), producer_task=spec.task_id,
+                )
             self.control_plane.async_task_set_state(
-                self.head_node_id, spec.task_id, "failed"
+                self.head_node_id, spec.task_id, state
             )
             yield Delay(0.0)
 
@@ -726,6 +803,7 @@ class SimRuntime:
             "reconstructions": self.lineage.reconstructions_started,
             "nodes_declared_dead": len(self.monitor.nodes_declared_dead),
             "actors_created": len(self.actors),
+            "tasks_cancelled": self._lifecycle.cancelled_count,
         }
 
     def shutdown(self) -> None:

@@ -7,11 +7,17 @@ needs to *re*-run the task during lineage replay after a failure (R6).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.object_ref import ObjectRef
 from repro.utils.ids import FunctionID, NodeID, ObjectID, TaskID
+
+#: Sentinel distinguishing "not passed" from an explicit None in the
+#: deprecated per-kwarg submission shim.
+_UNSET = object()
 
 
 class TaskState:
@@ -26,9 +32,10 @@ class TaskState:
     FINISHED = "finished"
     FAILED = "failed"
     LOST = "lost"            # was on a node that died; awaiting resubmit
+    CANCELLED = "cancelled"  # repro.cancel() won the race with execution
 
     ALL = (SUBMITTED, WAITING, QUEUED, SPILLED, ASSIGNED, RUNNING,
-           FINISHED, FAILED, LOST)
+           FINISHED, FAILED, LOST, CANCELLED)
     #: States in which a node failure orphans the task.
     PENDING = (SUBMITTED, WAITING, QUEUED, ASSIGNED, RUNNING)
 
@@ -54,6 +61,164 @@ class ResourceRequest:
         return self.num_cpus <= num_cpus and self.num_gpus <= num_gpus
 
 
+class OptionsBase:
+    """Shared validate/merge machinery for the frozen options dataclasses.
+
+    Every submission surface — ``@remote(...)``, ``.options(...)`` on
+    functions *and* actor classes, and ``Backend.submit_task`` — goes
+    through exactly this path, so the accepted option sets cannot drift
+    between surfaces and every rejection names the offending option.
+    """
+
+    def merged(self, **overrides: Any):
+        """A copy with ``overrides`` applied (left-to-right composition).
+
+        Unknown option names raise :class:`TypeError` naming the option
+        and the valid set; invalid values raise :class:`ValueError` from
+        the dataclass's own validation.
+        """
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown option(s) {unknown} for {type(self).__name__}; "
+                f"valid options: {sorted(valid)}"
+            )
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    def _check_resources(self) -> None:
+        if not isinstance(self.num_cpus, int) or self.num_cpus < 0:
+            raise ValueError(
+                f"invalid option num_cpus={self.num_cpus!r}: "
+                "must be a non-negative integer"
+            )
+        if not isinstance(self.num_gpus, int) or self.num_gpus < 0:
+            raise ValueError(
+                f"invalid option num_gpus={self.num_gpus!r}: "
+                "must be a non-negative integer"
+            )
+        if self.num_cpus == 0 and self.num_gpus == 0:
+            raise ValueError(
+                "invalid options num_cpus=0, num_gpus=0: a task must "
+                "request at least one CPU or GPU"
+            )
+        if self.name is not None and not isinstance(self.name, str):
+            raise ValueError(
+                f"invalid option name={self.name!r}: must be a string or None"
+            )
+
+    @property
+    def resources(self) -> ResourceRequest:
+        return ResourceRequest(num_cpus=self.num_cpus, num_gpus=self.num_gpus)
+
+
+@dataclass(frozen=True)
+class TaskOptions(OptionsBase):
+    """Every per-invocation knob of a stateless task submission.
+
+    One frozen value object carries the whole configuration from the
+    ``@remote`` decorator through ``.options(...)`` overrides down to
+    ``Backend.submit_task`` — replacing the former kwarg-per-knob
+    plumbing that had to be threaded through three signatures and three
+    backends by hand.
+
+    ``name``
+        Display-name override recorded as the spec's ``function_name``.
+    ``num_returns``
+        Number of return objects: ``k > 1`` makes ``.remote()`` return a
+        tuple of ``k`` refs, each independently gettable/waitable.
+    """
+
+    num_cpus: int = 1
+    num_gpus: int = 0
+    duration: Any = None
+    placement_hint: Optional[NodeID] = None
+    max_reconstructions: int = 3
+    name: Optional[str] = None
+    num_returns: int = 1
+
+    def __post_init__(self) -> None:
+        self._check_resources()
+        if not isinstance(self.max_reconstructions, int) or self.max_reconstructions < 0:
+            raise ValueError(
+                f"invalid option max_reconstructions={self.max_reconstructions!r}: "
+                "must be a non-negative integer"
+            )
+        if not isinstance(self.num_returns, int) or self.num_returns < 1:
+            raise ValueError(
+                f"invalid option num_returns={self.num_returns!r}: "
+                "must be an integer >= 1"
+            )
+        if (
+            self.duration is not None
+            and not callable(self.duration)
+            and not isinstance(self.duration, (int, float))
+        ):
+            raise ValueError(
+                f"invalid option duration={self.duration!r}: must be None, "
+                "a number of seconds, or a callable (rng, args) -> float"
+            )
+
+
+def resolve_task_options(
+    options: Any = None,
+    *,
+    resources: Optional[ResourceRequest] = None,
+    duration: Any = _UNSET,
+    placement_hint: Any = _UNSET,
+    max_reconstructions: Optional[int] = None,
+) -> TaskOptions:
+    """Normalize a ``submit_task`` call into one :class:`TaskOptions`.
+
+    The canonical path passes ``options=TaskOptions(...)``.  The legacy
+    per-kwarg form (``resources=``, ``duration=``, ...) — and the even
+    older positional form, where a :class:`ResourceRequest` lands in the
+    ``options`` slot — is accepted as a deprecated shim that builds the
+    equivalent ``TaskOptions`` under a :class:`DeprecationWarning`.
+    """
+    if isinstance(options, ResourceRequest):  # legacy positional resources
+        resources, options = options, None
+    legacy_used = (
+        resources is not None
+        or duration is not _UNSET
+        or placement_hint is not _UNSET
+        or max_reconstructions is not None
+    )
+    if options is not None:
+        if not isinstance(options, TaskOptions):
+            raise TypeError(
+                f"submit_task options must be a TaskOptions, got "
+                f"{type(options).__name__}"
+            )
+        if legacy_used:
+            raise TypeError(
+                "pass submission options either as options=TaskOptions(...) "
+                "or as legacy kwargs, not both"
+            )
+        return options
+    if legacy_used:
+        warnings.warn(
+            "per-kwarg submit_task options (resources=, duration=, "
+            "placement_hint=, max_reconstructions=) are deprecated; pass "
+            "options=TaskOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    overrides: dict[str, Any] = {}
+    if resources is not None:
+        overrides["num_cpus"] = resources.num_cpus
+        overrides["num_gpus"] = resources.num_gpus
+    if duration is not _UNSET:
+        overrides["duration"] = duration
+    if placement_hint is not _UNSET:
+        overrides["placement_hint"] = placement_hint
+    if max_reconstructions is not None:
+        overrides["max_reconstructions"] = max_reconstructions
+    return TaskOptions().merged(**overrides)
+
+
 @dataclass
 class TaskSpec:
     """One remote function invocation.
@@ -76,6 +241,12 @@ class TaskSpec:
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     return_object_id: Optional[ObjectID] = None
+    #: All return objects, in position order (``num_returns=k`` tasks have
+    #: k of them; ``return_object_id`` stays the first, the primary object
+    #: used for actor chaining and liveness checks).  Empty means "just
+    #: the primary" for specs built before multi-return existed.
+    return_object_ids: tuple = ()
+    num_returns: int = 1
     resources: ResourceRequest = field(default_factory=ResourceRequest)
     duration: Any = None
     #: Node the submitter was on (for locality bookkeeping / debugging).
@@ -120,7 +291,63 @@ class TaskSpec:
         return value
 
     def result_ref(self) -> ObjectRef:
-        """The future for this task's return value."""
+        """The future for this task's (primary) return value."""
         if self.return_object_id is None:
             raise ValueError("task spec has no return object id")
         return ObjectRef(self.return_object_id, producer_task=self.task_id)
+
+    def all_return_ids(self) -> tuple:
+        """Every return object id, in position order."""
+        if self.return_object_ids:
+            return self.return_object_ids
+        if self.return_object_id is None:
+            return ()
+        return (self.return_object_id,)
+
+    def result_refs(self) -> tuple:
+        """Futures for all return values, in position order."""
+        return tuple(
+            ObjectRef(object_id, producer_task=self.task_id)
+            for object_id in self.all_return_ids()
+        )
+
+    def public_result(self):
+        """What ``.remote()`` hands back: one ref, or a tuple of k refs."""
+        refs = self.result_refs()
+        return refs[0] if self.num_returns == 1 else refs
+
+
+def build_task_spec(
+    ids,
+    *,
+    function: Optional[Callable],
+    function_id: FunctionID,
+    function_name: str,
+    args: tuple,
+    kwargs: dict,
+    options: TaskOptions,
+    submitted_from: Optional[NodeID] = None,
+) -> TaskSpec:
+    """The one spec builder every backend's ``submit_task`` shares.
+
+    Allocates the task id and all ``num_returns`` return object ids and
+    applies the option set (including the ``name`` display override), so
+    a new submission knob lands here once instead of in three runtimes.
+    """
+    return_ids = tuple(ids.object_id() for _ in range(options.num_returns))
+    return TaskSpec(
+        task_id=ids.task_id(),
+        function_id=function_id,
+        function_name=options.name or function_name,
+        function=function,
+        args=tuple(args),
+        kwargs=dict(kwargs),
+        return_object_id=return_ids[0],
+        return_object_ids=return_ids,
+        num_returns=options.num_returns,
+        resources=options.resources,
+        duration=options.duration,
+        submitted_from=submitted_from,
+        placement_hint=options.placement_hint,
+        max_reconstructions=options.max_reconstructions,
+    )

@@ -36,10 +36,16 @@ from repro.core.actors import (
     resolve_actor_callable,
 )
 from repro.core.effect_driver import EffectHandler, effect_loop
-from repro.core.effects import ActorCall, ActorCreate, Compute, Get, Put, Wait
+from repro.core.effects import ActorCall, ActorCreate, Cancel, Compute, Get, Put, Wait
 from repro.core.object_ref import ObjectRef
 from repro.core.task import TaskSpec, TaskState
-from repro.errors import ActorLostError, ReproError, TaskError, WorkerCrashedError
+from repro.errors import (
+    ActorLostError,
+    ReproError,
+    TaskCancelledError,
+    TaskError,
+    WorkerCrashedError,
+)
 from repro.sim.core import Delay, ProcessKilled
 from repro.utils.ids import NodeID, WorkerID
 from repro.utils.serialization import serialize
@@ -58,7 +64,8 @@ class ErrorValue:
     #: ``"task"`` for ordinary failures, ``"actor_lost"`` when the result
     #: is unavailable because the actor's node died, ``"worker_crashed"``
     #: when the executing worker process died and lineage replay was
-    #: unavailable or exhausted — the kind decides which exception ``get``
+    #: unavailable or exhausted, ``"cancelled"`` when ``repro.cancel``
+    #: discarded the result — the kind decides which exception ``get``
     #: raises.
     kind: str = "task"
     actor_id: Any = None
@@ -69,6 +76,10 @@ class ErrorValue:
             return ActorLostError(self.actor_id, class_name, self.cause_repr)
         if self.kind == "worker_crashed":
             return WorkerCrashedError(
+                self.task_id, self.function_name, self.cause_repr
+            )
+        if self.kind == "cancelled":
+            return TaskCancelledError(
                 self.task_id, self.function_name, self.cause_repr
             )
         return TaskError(
@@ -85,6 +96,39 @@ def error_value_from(spec: TaskSpec, exc: BaseException) -> ErrorValue:
         traceback_text=traceback.format_exc(),
         chain=(spec.function_name,),
     )
+
+
+def split_result_values(spec: TaskSpec, result: Any) -> list:
+    """Map a task body's return value onto its ``num_returns`` slots.
+
+    Shared by every backend's executor so the multi-return contract is
+    identical everywhere: for ``k == 1`` the value passes through; for
+    ``k > 1`` the body must return a tuple/list of exactly ``k`` values
+    (anything else becomes an :class:`ErrorValue` replicated into every
+    slot, as is any error the body itself produced).
+    """
+    k = spec.num_returns
+    if k <= 1:
+        return [result]
+    if isinstance(result, ErrorValue):
+        return [result] * k
+    if not isinstance(result, (tuple, list)) or len(result) != k:
+        got = (
+            f"{type(result).__name__} of length {len(result)}"
+            if isinstance(result, (tuple, list))
+            else type(result).__name__
+        )
+        error = ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=(
+                f"task declared num_returns={k} but returned {got}; "
+                "return a tuple or list of exactly that many values"
+            ),
+            chain=(spec.function_name,),
+        )
+        return [error] * k
+    return list(result)
 
 
 def propagate_error(value: ErrorValue, spec: TaskSpec) -> ErrorValue:
@@ -171,6 +215,9 @@ class SimEffectHandler(EffectHandler):
     def on_put(self, item: Put) -> Generator:
         result = yield from self.worker._put_value(item.value)
         return result
+
+    def on_cancel(self, item: Cancel) -> bool:
+        return self.runtime.cancel(item.ref, recursive=item.recursive)
 
     def on_actor_create(self, item: ActorCreate):
         from repro.core.actors import create_from_effect
@@ -263,13 +310,15 @@ class Worker:
                         spec, arg_values, kwarg_values
                     )
 
-            yield from self._store_result(spec, result_value)
-            failed = isinstance(result_value, ErrorValue)
+            failed = yield from self._store_result(spec, result_value)
+            if runtime.task_cancelled(spec.task_id):
+                final_state = TaskState.CANCELLED
+            elif failed:
+                final_state = TaskState.FAILED
+            else:
+                final_state = TaskState.FINISHED
             cp.async_task_set_state(
-                self.node_id,
-                spec.task_id,
-                TaskState.FAILED if failed else TaskState.FINISHED,
-                node=self.node_id,
+                self.node_id, spec.task_id, final_state, node=self.node_id
             )
             cp.log("task_finished", task_id=spec.task_id, node=self.node_id,
                    worker=self.worker_id, function=spec.function_name,
@@ -417,26 +466,41 @@ class Worker:
     # -- result handling --------------------------------------------------------
 
     def _store_result(self, spec: TaskSpec, result_value: Any) -> Generator:
+        """Store the task's return value(s); returns the failed flag.
+
+        ``num_returns=k`` tasks store one object per slot; all slots are
+        made visible at the same instant so a multi-return result is
+        never partially observable.  A cancelled task's real result is
+        discarded — the cancellation marker already occupies its slots.
+        """
         runtime = self.runtime
+        if runtime.task_cancelled(spec.task_id):
+            return True
         store = runtime.object_store(self.node_id)
-        try:
-            data = serialize(result_value)
-        except TypeError as exc:
-            result_value = error_value_from(spec, exc)
-            data = serialize(result_value)
+        values = split_result_values(spec, result_value)
+        datas = []
+        for value in values:
+            try:
+                datas.append(serialize(value))
+            except TypeError as exc:
+                datas.append(serialize(error_value_from(spec, exc)))
+        total = sum(len(data) for data in datas)
         yield Delay(
-            runtime.costs.serialization_time(len(data)) + runtime.costs.put_overhead
+            runtime.costs.serialization_time(total) + runtime.costs.put_overhead
         )
-        try:
-            store.put(spec.return_object_id, data)
-        except Exception as exc:  # ObjectStoreFullError: store tiny error marker
-            result_value = error_value_from(spec, exc)
-            data = serialize(result_value)
-            store.put(spec.return_object_id, data)
-        runtime.control_plane.async_object_add_location(
-            self.node_id,
-            spec.return_object_id,
-            self.node_id,
-            len(data),
-            producer_task=spec.task_id,
-        )
+        failed = any(isinstance(value, ErrorValue) for value in values)
+        for object_id, data in zip(spec.all_return_ids(), datas):
+            try:
+                store.put(object_id, data)
+            except Exception as exc:  # ObjectStoreFullError: tiny error marker
+                failed = True
+                data = serialize(error_value_from(spec, exc))
+                store.put(object_id, data)
+            runtime.control_plane.async_object_add_location(
+                self.node_id,
+                object_id,
+                self.node_id,
+                len(data),
+                producer_task=spec.task_id,
+            )
+        return failed

@@ -58,6 +58,37 @@ class SchedulingError(ReproError):
     """A task can never be scheduled (e.g. requests more GPUs than any node has)."""
 
 
+class TaskCancelledError(ReproError):
+    """The task producing this object was cancelled via ``repro.cancel``.
+
+    Raised at ``get`` time for the cancelled task's own return refs and —
+    because cancellation propagates through the dataflow graph exactly
+    like an ordinary task failure — for every downstream task that
+    consumed one of them.  A task cancelled before it was scheduled never
+    executes at all; a task cancelled while running keeps running (its
+    side effects are not undone) but its result is discarded and replaced
+    by this error.
+
+    Attributes
+    ----------
+    task_id / function_name:
+        The task that was cancelled (the origin, for refs downstream).
+    detail:
+        Human-readable context (e.g. whether it ever started).
+    """
+
+    def __init__(self, task_id=None, function_name: str = "", detail: str = "") -> None:
+        self.task_id = task_id
+        self.function_name = function_name
+        self.detail = detail
+        message = "task was cancelled"
+        if function_name:
+            message = f"task {task_id} ({function_name}) was cancelled"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class WorkerCrashedError(ReproError):
     """The worker executing a task died before finishing.
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
+from repro.core import lifecycle
 from repro.core.actors import (
     CREATION_METHOD,
     ActorHandle,
@@ -29,12 +30,14 @@ from repro.core.actors import (
     call_from_effect,
     chain_submission,
     create_from_effect,
+    get_actor_handle,
     handle_for,
     register_instance,
     resolve_actor_callable,
 )
 from repro.core.dependencies import DependencyTracker
 from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
+from repro.core.lifecycle import LifecycleIndex, cancelled_error_value
 from repro.core.object_ref import ObjectRef
 from repro.core.protocol import (
     check_cluster_feasible,
@@ -43,8 +46,19 @@ from repro.core.protocol import (
     unwrap_value,
     validate_wait_args,
 )
-from repro.core.task import ResourceRequest, TaskSpec
-from repro.core.worker import ErrorValue, error_value_from, propagate_error
+from repro.core.task import (
+    ResourceRequest,
+    TaskSpec,
+    _UNSET,
+    build_task_spec,
+    resolve_task_options,
+)
+from repro.core.worker import (
+    ErrorValue,
+    error_value_from,
+    propagate_error,
+    split_result_values,
+)
 from repro.errors import BackendError, GetTimeoutError
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
 from repro.utils.serialization import deserialize, serialize
@@ -87,6 +101,9 @@ class _LocalEffectHandler(EffectHandler):
     def on_put(self, item) -> ObjectRef:
         return self.runtime.put(item.value)
 
+    def on_cancel(self, item) -> bool:
+        return self.runtime.cancel(item.ref, recursive=item.recursive)
+
     def on_actor_create(self, item) -> ActorHandle:
         return create_from_effect(self.runtime, item)
 
@@ -114,6 +131,7 @@ class LocalRuntime:
         self._deps = DependencyTracker()
         self._functions: dict[FunctionID, Callable] = {}
         self.actors = ActorRegistry()
+        self._lifecycle = LifecycleIndex()
         self._tls = threading.local()
         self._effect_handler = _LocalEffectHandler(self)
 
@@ -156,33 +174,38 @@ class LocalRuntime:
         function: Callable,
         function_id: FunctionID,
         function_name: str,
-        args: tuple,
-        kwargs: dict,
-        resources: ResourceRequest,
-        duration: Any = None,          # modeled durations are a sim concept
-        placement_hint: Optional[NodeID] = None,
-        max_reconstructions: int = 3,
-    ) -> ObjectRef:
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        options: Any = None,
+        resources: Optional[ResourceRequest] = None,
+        duration: Any = _UNSET,        # modeled durations are a sim concept
+        placement_hint: Any = _UNSET,
+        max_reconstructions: Optional[int] = None,
+    ) -> Any:
         self._check_open()
-        check_cluster_feasible(self.cluster, resources, function_name)
-        spec = TaskSpec(
-            task_id=self.ids.task_id(),
+        options = resolve_task_options(
+            options, resources=resources, duration=duration,
+            placement_hint=placement_hint,
+            max_reconstructions=max_reconstructions,
+        )
+        check_cluster_feasible(self.cluster, options.resources, function_name)
+        spec = build_task_spec(
+            self.ids,
+            function=function,
             function_id=function_id,
             function_name=function_name,
-            function=function,
-            args=tuple(args),
-            kwargs=dict(kwargs),
-            return_object_id=self.ids.object_id(),
-            resources=resources,
-            duration=duration,
+            args=args,
+            kwargs=kwargs or {},
+            options=options,
             submitted_from=self._current_node_id(),
-            placement_hint=placement_hint,
         )
-        return self._submit_spec(spec)
+        self._submit_spec(spec)
+        return spec.public_result()
 
     def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
         """Gate on unproduced dependencies, else enqueue (shared protocol)."""
         with self._lock:
+            self._lifecycle.register(spec)
             missing = {
                 dep for dep in spec.dependencies() if dep not in self._objects
             }
@@ -204,12 +227,14 @@ class LocalRuntime:
         kwargs: dict,
         resources: ResourceRequest,
         placement_hint: Optional[NodeID] = None,
+        name: Optional[str] = None,
     ) -> ActorHandle:
         """Create a stateful actor; returns its handle immediately.
 
         Placement reuses this backend's scheduler: the constructor task
         is pinned to the node the most-free-slots policy picks, and every
-        method call follows it there.
+        method call follows it there.  ``name`` registers the actor for
+        :meth:`get_actor` lookup (collisions with a live holder raise).
         """
         self._check_open()
         check_cluster_feasible(
@@ -223,10 +248,19 @@ class LocalRuntime:
             )
             home = self._choose_node(spec)
             spec.placement_hint = home.node_id
-            record = self.actors.create(actor_id, class_name, resources, home.node_id)
+            record = self.actors.create(
+                actor_id, class_name, resources, home.node_id, name=name
+            )
             chain_submission(record, spec)
+            record.handle = handle_for(record, actor_class)
         self._submit_spec(spec)
-        return handle_for(record, actor_class)
+        return record.handle
+
+    def get_actor(self, name: str) -> ActorHandle:
+        """Look up a live named actor's handle (shared semantics)."""
+        self._check_open()
+        with self._lock:
+            return get_actor_handle(self.actors, name)
 
     def call_actor(
         self,
@@ -295,6 +329,33 @@ class LocalRuntime:
         self._store_object(object_id, serialize(value))
         return ObjectRef(object_id)
 
+    def cancel(self, ref: ObjectRef, recursive: bool = False) -> bool:
+        """Cancel the task producing ``ref`` (shared core semantics)."""
+        self._check_open()
+        return lifecycle.cancel(self, ref, recursive=recursive)
+
+    # -- lifecycle hooks (see repro.core.lifecycle); lock held ----------
+
+    def _lifecycle_guard(self):
+        return self._ready_cond
+
+    def _result_ready(self, object_id: ObjectID) -> bool:
+        return object_id in self._objects
+
+    def _store_cancelled(self, spec: TaskSpec) -> None:
+        data = serialize(
+            cancelled_error_value(spec, "cancelled before a result was produced")
+        )
+        for object_id in spec.all_return_ids():
+            if object_id not in self._objects:
+                self._objects[object_id] = data
+                for waiting in self._deps.mark_ready(object_id):
+                    self._enqueue_runnable(waiting)
+        self._ready_cond.notify_all()
+
+    def _parked_dependents(self, object_id: ObjectID) -> list:
+        return lifecycle.parked_dependents(self._deps, object_id)
+
     def sleep(self, duration: float) -> None:
         time.sleep(duration)
 
@@ -310,6 +371,7 @@ class LocalRuntime:
                 "objects_stored": len(self._objects),
                 "tasks_waiting": len(self._deps),
                 "actors_created": len(self.actors),
+                "tasks_cancelled": self._lifecycle.cancelled_count,
             }
 
     def shutdown(self) -> None:
@@ -405,16 +467,32 @@ class LocalRuntime:
                 self._dispatch(node)
 
     def _run_task(self, node: _Node, spec: TaskSpec) -> None:
+        with self._lock:
+            if self._lifecycle.is_cancelled(spec.task_id):
+                return  # cancelled while queued: never execute user code
         args, kwargs, upstream_error = self._resolve_args(spec)
         if upstream_error is not None:
             result: Any = propagate_error(upstream_error, spec)
         else:
             result = self._execute(spec, args, kwargs)
-        try:
-            data = serialize(result)
-        except TypeError as exc:
-            data = serialize(error_value_from(spec, exc))
-        self._store_object(spec.return_object_id, data)
+        datas = []
+        for value in split_result_values(spec, result):
+            try:
+                datas.append(serialize(value))
+            except TypeError as exc:
+                datas.append(serialize(error_value_from(spec, exc)))
+        self._store_results(spec, datas)
+
+    def _store_results(self, spec: TaskSpec, datas: list) -> None:
+        """Store all return slots atomically; discard if cancelled mid-run."""
+        with self._ready_cond:
+            if self._lifecycle.is_cancelled(spec.task_id):
+                return  # the cancellation marker owns the slots
+            for object_id, data in zip(spec.all_return_ids(), datas):
+                self._objects[object_id] = data
+                for waiting in self._deps.mark_ready(object_id):
+                    self._enqueue_runnable(waiting)
+            self._ready_cond.notify_all()
 
     def _resolve_args(self, spec: TaskSpec):
         """Materialize argument futures (ordering-only deps are skipped:

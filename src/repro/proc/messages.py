@@ -27,16 +27,19 @@ TASK = "task"          # (TASK, payload_dict): execute one task
 SHUTDOWN = "shutdown"  # (SHUTDOWN,): exit the worker loop
 
 # -- worker -> driver (task lifecycle) ----------------------------------
-RESULT = "result"      # (RESULT, result_bytes, failed): the task finished
+RESULT = "result"      # (RESULT, [result_bytes, ...], failed): the task
+                       # finished; one blob per return slot (num_returns)
 
 # -- worker -> driver (requests while a task runs) ----------------------
 FETCH = "fetch"                # (FETCH, object_id) -> (OK, bytes)
-SUBMIT = "submit"              # (SUBMIT, payload) -> (OK, ObjectRef)
+SUBMIT = "submit"              # (SUBMIT, payload) -> (OK, ObjectRef | tuple)
 GET = "get"                    # (GET, [object_id], timeout) -> (OK, [bytes])
 WAIT = "wait"                  # (WAIT, [refs], num_returns, timeout) -> (OK, (ready, pending))
 PUT = "put"                    # (PUT, bytes) -> (OK, ObjectRef)
+CANCEL = "cancel"              # (CANCEL, ref, recursive) -> (OK, bool)
 CREATE_ACTOR = "create_actor"  # (CREATE_ACTOR, payload) -> (OK, ActorHandle)
 CALL_ACTOR = "call_actor"      # (CALL_ACTOR, payload) -> (OK, ObjectRef)
+GET_ACTOR = "get_actor"        # (GET_ACTOR, name) -> (OK, ActorHandle)
 
 # -- driver -> worker (replies) -----------------------------------------
 OK = "ok"    # (OK, value)

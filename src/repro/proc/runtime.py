@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.cluster.spec import ClusterSpec
+from repro.core import lifecycle
 from repro.core.actors import (
     CREATION_METHOD,
     ActorHandle,
@@ -49,10 +50,12 @@ from repro.core.actors import (
     build_call_spec,
     build_creation_spec,
     chain_submission,
+    get_actor_handle,
     handle_for,
     register_instance,
 )
 from repro.core.dependencies import DependencyTracker
+from repro.core.lifecycle import LifecycleIndex, cancelled_error_value
 from repro.core.object_ref import ObjectRef
 from repro.core.protocol import (
     check_cluster_feasible,
@@ -61,7 +64,13 @@ from repro.core.protocol import (
     unwrap_value,
     validate_wait_args,
 )
-from repro.core.task import ResourceRequest, TaskSpec
+from repro.core.task import (
+    ResourceRequest,
+    TaskSpec,
+    _UNSET,
+    build_task_spec,
+    resolve_task_options,
+)
 from repro.core.worker import ErrorValue, error_value_from
 from repro.errors import (
     BackendError,
@@ -181,6 +190,7 @@ class ProcRuntime:
         self._deps = DependencyTracker()
         self._functions: dict[FunctionID, Callable] = {}
         self.actors = ActorRegistry()
+        self._lifecycle = LifecycleIndex()
 
         #: Stateless runnable tasks, drained by whichever worker idles first.
         self._queue: deque = deque()
@@ -219,33 +229,38 @@ class ProcRuntime:
         function: Callable,
         function_id: FunctionID,
         function_name: str,
-        args: tuple,
-        kwargs: dict,
-        resources: ResourceRequest,
-        duration: Any = None,          # modeled durations are a sim concept
-        placement_hint: Optional[NodeID] = None,
-        max_reconstructions: int = 3,
-    ) -> ObjectRef:
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        options: Any = None,
+        resources: Optional[ResourceRequest] = None,
+        duration: Any = _UNSET,        # modeled durations are a sim concept
+        placement_hint: Any = _UNSET,
+        max_reconstructions: Optional[int] = None,
+    ) -> Any:
         self._check_open()
-        check_cluster_feasible(self.cluster, resources, function_name)
+        options = resolve_task_options(
+            options, resources=resources, duration=duration,
+            placement_hint=placement_hint,
+            max_reconstructions=max_reconstructions,
+        )
+        check_cluster_feasible(self.cluster, options.resources, function_name)
         with self._cond:
-            spec = TaskSpec(
-                task_id=self.ids.task_id(),
+            spec = build_task_spec(
+                self.ids,
+                function=function,
                 function_id=function_id,
                 function_name=function_name,
-                function=function,
-                args=tuple(args),
-                kwargs=dict(kwargs),
-                return_object_id=self.ids.object_id(),
-                resources=resources,
-                duration=duration,
-                placement_hint=placement_hint,
-                max_reconstructions=max_reconstructions,
+                args=args,
+                kwargs=kwargs or {},
+                options=options,
+                submitted_from=self.head_node_id,
             )
-            return self._submit_spec(spec)
+            self._submit_spec(spec)
+            return spec.public_result()
 
     def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
         """Gate on unproduced dependencies, else enqueue (lock held)."""
+        self._lifecycle.register(spec)
         missing = {
             dep for dep in spec.dependencies() if not self._store.contains(dep)
         }
@@ -280,12 +295,15 @@ class ProcRuntime:
         kwargs: dict,
         resources: ResourceRequest,
         placement_hint: Optional[NodeID] = None,
+        name: Optional[str] = None,
     ) -> ActorHandle:
         """Create a process-pinned actor; returns its handle immediately.
 
         The constructor runs on the chosen worker process and the live
         instance stays there; every method call follows it (ordered by the
-        dataflow chain, like every other backend).
+        dataflow chain, like every other backend).  ``name`` registers the
+        actor for :meth:`get_actor` lookup (collisions with a live holder
+        raise).
         """
         self._check_open()
         check_cluster_feasible(
@@ -299,12 +317,21 @@ class ProcRuntime:
             )
             home = self._choose_worker_for_actor(placement_hint)
             spec.placement_hint = home.node_id
-            record = self.actors.create(actor_id, class_name, resources, home.node_id)
+            record = self.actors.create(
+                actor_id, class_name, resources, home.node_id, name=name
+            )
             home.actors_bound += 1
             chain_submission(record, spec)
             handle = handle_for(record, actor_class)
+            record.handle = handle
             self._submit_spec(spec)
         return handle
+
+    def get_actor(self, name: str) -> ActorHandle:
+        """Look up a live named actor's handle (shared semantics)."""
+        self._check_open()
+        with self._cond:
+            return get_actor_handle(self.actors, name)
 
     def call_actor(
         self,
@@ -391,6 +418,30 @@ class ProcRuntime:
             self._store_bytes(object_id, data)
         return ObjectRef(object_id)
 
+    def cancel(self, ref: ObjectRef, recursive: bool = False) -> bool:
+        """Cancel the task producing ``ref`` (shared core semantics)."""
+        self._check_open()
+        return lifecycle.cancel(self, ref, recursive=recursive)
+
+    # -- lifecycle hooks (see repro.core.lifecycle); lock held ----------
+
+    def _lifecycle_guard(self):
+        return self._cond
+
+    def _result_ready(self, object_id: ObjectID) -> bool:
+        return self._store.contains(object_id)
+
+    def _store_cancelled(self, spec: TaskSpec) -> None:
+        data = serialize(
+            cancelled_error_value(spec, "cancelled before a result was produced")
+        )
+        for object_id in spec.all_return_ids():
+            if not self._store.contains(object_id):
+                self._store_bytes(object_id, data)
+
+    def _parked_dependents(self, object_id: ObjectID) -> list:
+        return lifecycle.parked_dependents(self._deps, object_id)
+
     def sleep(self, duration: float) -> None:
         time.sleep(duration)
 
@@ -409,6 +460,7 @@ class ProcRuntime:
                 "actors_created": len(self.actors),
                 "num_workers": sum(1 for w in self._workers if w.alive),
                 "workers_crashed": self._workers_crashed,
+                "tasks_cancelled": self._lifecycle.cancelled_count,
                 "lineage_replays": self._lineage_replays,
                 "args_inlined": self._acct_inline.snapshot(),
                 "args_stored": self._acct_stored.snapshot(),
@@ -541,6 +593,8 @@ class ProcRuntime:
                 if spec is None:
                     self._cond.wait()
                     continue
+                if self._lifecycle.is_cancelled(spec.task_id):
+                    continue  # cancelled while queued: never ship it
                 if spec.actor_id is not None:
                     spec = self._claim_actor_spec(worker, spec)
                     if spec is None:
@@ -605,9 +659,9 @@ class ProcRuntime:
         except (TypeError, ReproError) as exc:
             with self._cond:
                 worker.inflight.remove(spec)
-                self._store_bytes(
-                    spec.return_object_id, serialize(error_value_from(spec, exc))
-                )
+                data = serialize(error_value_from(spec, exc))
+                for object_id in spec.all_return_ids():
+                    self._store_bytes(object_id, data)
             return
         worker.conn.send((msg.TASK, payload))
         while True:
@@ -653,6 +707,8 @@ class ProcRuntime:
             "function_id": spec.function_id,
             "function_name": spec.function_name,
             "return_object_id": spec.return_object_id,
+            "return_object_ids": spec.all_return_ids(),
+            "num_returns": spec.num_returns,
             "call_bytes": serialize_portable((args_template, kwargs_template)),
             "inline": inline,
         }
@@ -684,13 +740,13 @@ class ProcRuntime:
         return cached
 
     def _finish_task(
-        self, worker: _WorkerHandle, spec: TaskSpec, data: bytes, failed: bool
+        self, worker: _WorkerHandle, spec: TaskSpec, blobs: list, failed: bool
     ) -> None:
         with self._cond:
             worker.inflight.remove(spec)
             worker.tasks_done += 1
             self._tasks_executed += 1
-            self._acct_results.record(len(data))
+            self._acct_results.record(sum(len(data) for data in blobs))
             if spec.actor_id is not None:
                 record = self.actors.get(spec.actor_id)
                 if record is not None and not record.dead and not failed:
@@ -700,14 +756,16 @@ class ProcRuntime:
                         register_instance(record, REMOTE_INSTANCE, worker.node_id)
                     else:
                         record.methods_executed += 1
-            try:
-                self._store_bytes(spec.return_object_id, data)
-            except ReproError as exc:
-                # Store full: keep consumers unblocked with a tiny marker.
-                self._store_bytes(
-                    spec.return_object_id,
-                    serialize(error_value_from(spec, exc)),
-                )
+            if self._lifecycle.is_cancelled(spec.task_id):
+                return  # cancelled mid-run: the marker owns the slots
+            for object_id, data in zip(spec.all_return_ids(), blobs):
+                try:
+                    self._store_bytes(object_id, data)
+                except ReproError as exc:
+                    # Store full: keep consumers unblocked with a tiny marker.
+                    self._store_bytes(
+                        object_id, serialize(error_value_from(spec, exc))
+                    )
 
     # ------------------------------------------------------------------
     # Worker request service
@@ -728,6 +786,10 @@ class ProcRuntime:
                 )
             elif tag == msg.PUT:
                 reply = self._put_bytes(message[1])
+            elif tag == msg.CANCEL:
+                reply = self.cancel(message[1], recursive=message[2])
+            elif tag == msg.GET_ACTOR:
+                reply = self.get_actor(message[1])
             elif tag == msg.CREATE_ACTOR:
                 reply = self._create_actor_from_worker(message[1])
             elif tag == msg.CALL_ACTOR:
@@ -845,7 +907,7 @@ class ProcRuntime:
             self._store_bytes(object_id, data)
         return ObjectRef(object_id)
 
-    def _submit_from_worker(self, payload: dict) -> ObjectRef:
+    def _submit_from_worker(self, payload: dict) -> Any:
         function = deserialize_portable(payload["function_bytes"])
         args, kwargs = deserialize_portable(payload["call_bytes"])
         return self.submit_task(
@@ -854,9 +916,7 @@ class ProcRuntime:
             function_name=payload["function_name"],
             args=args,
             kwargs=kwargs,
-            resources=payload["resources"],
-            placement_hint=payload.get("placement_hint"),
-            max_reconstructions=payload.get("max_reconstructions", 3),
+            options=payload["options"],
         )
 
     def _create_actor_from_worker(self, payload: dict) -> ActorHandle:
@@ -869,6 +929,7 @@ class ProcRuntime:
             kwargs=kwargs,
             resources=payload["resources"],
             placement_hint=payload.get("placement_hint"),
+            name=payload.get("name"),
         )
 
     # ------------------------------------------------------------------
@@ -976,6 +1037,8 @@ class ProcRuntime:
                     serialize(actor_lost_error_value(spec, record)),
                 )
             return
+        if self._lifecycle.is_cancelled(spec.task_id):
+            return  # the cancellation marker already owns its slots
         attempts = self._replays.get(spec.task_id, 0)
         if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
             self._replays[spec.task_id] = attempts + 1
@@ -996,4 +1059,6 @@ class ProcRuntime:
             chain=(spec.function_name,),
             kind="worker_crashed",
         )
-        self._store_bytes(spec.return_object_id, serialize(error))
+        data = serialize(error)
+        for object_id in spec.all_return_ids():
+            self._store_bytes(object_id, data)

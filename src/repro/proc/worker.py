@@ -37,8 +37,13 @@ from repro.core.actors import (
 from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
 from repro.core.object_ref import ObjectRef
 from repro.core.protocol import normalize_get_refs, unwrap_value, validate_wait_args
-from repro.core.task import TaskSpec
-from repro.core.worker import ErrorValue, error_value_from, propagate_error
+from repro.core.task import TaskSpec, _UNSET, resolve_task_options
+from repro.core.worker import (
+    ErrorValue,
+    error_value_from,
+    propagate_error,
+    split_result_values,
+)
 from repro.errors import ReproError
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
@@ -72,6 +77,9 @@ class _ProcEffectHandler(EffectHandler):
     def on_put(self, item) -> ObjectRef:
         return self.worker.proxy.put(item.value)
 
+    def on_cancel(self, item) -> bool:
+        return self.worker.proxy.cancel(item.ref, recursive=item.recursive)
+
     def on_actor_create(self, item):
         return create_from_effect(self.worker.proxy, item)
 
@@ -104,22 +112,34 @@ class WorkerRuntime:
         function,
         function_id,
         function_name: str,
-        args: tuple,
-        kwargs: dict,
-        resources,
-        duration: Any = None,
-        placement_hint=None,
-        max_reconstructions: int = 3,
-    ) -> ObjectRef:
+        args: tuple = (),
+        kwargs: dict = None,
+        options: Any = None,
+        resources=None,
+        duration: Any = _UNSET,
+        placement_hint: Any = _UNSET,
+        max_reconstructions=None,
+    ) -> Any:
+        options = resolve_task_options(
+            options, resources=resources, duration=duration,
+            placement_hint=placement_hint,
+            max_reconstructions=max_reconstructions,
+        )
         payload = {
             "function_bytes": serialize_portable(function),
             "function_name": function_name,
-            "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
-            "resources": resources,
-            "placement_hint": placement_hint,
-            "max_reconstructions": max_reconstructions,
+            "call_bytes": serialize_portable((tuple(args), dict(kwargs or {}))),
+            # ``duration`` may be a closure (a sim-only concept anyway):
+            # strip it so the payload stays plain-picklable on the pipe.
+            "options": options.merged(duration=None),
         }
         return self._worker.rpc(msg.SUBMIT, payload)
+
+    def cancel(self, ref: ObjectRef, recursive: bool = False) -> bool:
+        return self._worker.rpc(msg.CANCEL, ref, recursive)
+
+    def get_actor(self, name: str):
+        return self._worker.rpc(msg.GET_ACTOR, name)
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
         ref_list, single = normalize_get_refs(refs)
@@ -143,7 +163,8 @@ class WorkerRuntime:
         return self._worker.rpc(msg.PUT, serialize(value))
 
     def create_actor(
-        self, actor_class, class_name, args, kwargs, resources, placement_hint=None
+        self, actor_class, class_name, args, kwargs, resources,
+        placement_hint=None, name=None,
     ):
         payload = {
             "class_bytes": serialize_portable(actor_class),
@@ -151,6 +172,7 @@ class WorkerRuntime:
             "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
             "resources": resources,
             "placement_hint": placement_hint,
+            "name": name,
         }
         return self._worker.rpc(msg.CREATE_ACTOR, payload)
 
@@ -252,15 +274,18 @@ class ProcWorker:
     def execute(self, payload: dict) -> tuple:
         """Run one task message to completion.
 
-        Returns ``(result_bytes, failed)``: the serialized result (an
-        :class:`ErrorValue` when anything went wrong) plus the flag the
-        driver needs for actor bookkeeping — shipped alongside so the
-        driver never has to deserialize the payload to learn it."""
+        Returns ``([result_bytes, ...], failed)``: one serialized blob
+        per return slot (an :class:`ErrorValue` when anything went wrong)
+        plus the flag the driver needs for actor bookkeeping — shipped
+        alongside so the driver never has to deserialize the payload to
+        learn it."""
         spec = TaskSpec(
             task_id=payload["task_id"],
             function_id=payload["function_id"],
             function_name=payload["function_name"],
             return_object_id=payload["return_object_id"],
+            return_object_ids=tuple(payload.get("return_object_ids", ())),
+            num_returns=payload.get("num_returns", 1),
             actor_id=payload.get("actor_id"),
             actor_method=payload.get("method"),
         )
@@ -285,16 +310,22 @@ class ProcWorker:
                 self.cache.unpin(object_id)
 
     def _pack(self, spec: TaskSpec, result: Any) -> tuple:
-        """Serialize a result into ``(bytes, failed)``.  ``serialize``
-        wraps every pickling failure (PicklingError, recursion, weird
-        user __reduce__) in TypeError, so this cannot let an unpicklable
+        """Serialize a result into ``([bytes, ...], failed)``: one blob
+        per return slot (``num_returns``).  ``serialize`` wraps every
+        pickling failure (PicklingError, recursion, weird user
+        __reduce__) in TypeError, so this cannot let an unpicklable
         return crash the worker."""
-        try:
-            data = serialize(result)
-        except TypeError as exc:
-            result = error_value_from(spec, exc)
-            data = serialize(result)
-        return data, isinstance(result, ErrorValue)
+        values = split_result_values(spec, result)
+        blobs = []
+        failed = False
+        for value in values:
+            try:
+                blobs.append(serialize(value))
+            except TypeError as exc:
+                value = error_value_from(spec, exc)
+                blobs.append(serialize(value))
+            failed = failed or isinstance(value, ErrorValue)
+        return blobs, failed
 
     def _resolve_call(self, payload: dict, pinned: list):
         """Materialize argument slots into values (inline, cache, or fetch).

@@ -196,8 +196,20 @@ class LocalScheduler:
         return None
 
     def _dispatch(self) -> None:
-        """Assign runnable tasks to idle workers while resources allow."""
+        """Assign runnable tasks to idle workers while resources allow.
+
+        Cancelled tasks are dropped here, before any worker is assigned —
+        the guarantee that a task cancelled while unscheduled never
+        executes, regardless of how it arrived (local submit, spillover,
+        global placement, or failure resubmission).
+        """
         self._grant_resumptions()
+        if self.runnable and self.runtime.has_cancelled_tasks:
+            self.runnable = [
+                spec
+                for spec in self.runnable
+                if not self.runtime.task_cancelled(spec.task_id)
+            ]
         while True:
             index = next(
                 (

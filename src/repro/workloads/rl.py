@@ -243,6 +243,58 @@ def run_ours_stage_barrier(config: RLConfig) -> RLResult:
     )
 
 
+def run_ours_as_completed(config: RLConfig) -> RLResult:
+    """The pipelined workload expressed with the ``as_completed`` iterator
+    instead of a hand-rolled ``wait`` loop: rollouts arrive in completion
+    order and are batched into fits as they land.  Since the iterator is
+    built on ``wait``, it should match :func:`run_ours_pipelined`'s
+    latency — that equivalence is asserted by bench E8."""
+    runtime = repro.get_runtime()
+    rollout_fn = _rollout_task.options(duration=config.rollout_duration)
+    fit_fn = _fit_task.options(duration=config.fit_duration)
+    shard_size = -(-config.rollouts_per_iteration // config.num_fit_shards)
+
+    tasks_before = runtime.stats().get("tasks_executed", 0)
+    weights = np.zeros((NUM_ACTIONS, OBS_DIM))
+    history = []
+    start = repro.now()
+    for iteration in range(config.iterations):
+        weights_ref = repro.put(weights)
+        rollout_refs = [
+            rollout_fn.remote(
+                weights_ref, seed, config.sigma, config.env_seed, config.horizon
+            )
+            for seed in config.rollout_seeds(iteration)
+        ]
+        shard_refs = []
+        batch = []
+        for done_ref in repro.as_completed(rollout_refs):
+            batch.append(done_ref)
+            if len(batch) >= shard_size:
+                shard_refs.append(
+                    fit_fn.remote(
+                        weights_ref, config.sigma, config.learning_rate, *batch
+                    )
+                )
+                batch = []
+        if batch:
+            shard_refs.append(
+                fit_fn.remote(
+                    weights_ref, config.sigma, config.learning_rate, *batch
+                )
+            )
+        weights = _combine(repro.get(shard_refs))
+        history.append(evaluate_policy(weights, config.env_seed, config.horizon))
+    total_time = repro.now() - start
+    return RLResult(
+        implementation="ours-as-completed",
+        total_time=total_time,
+        weights=weights,
+        reward_history=history,
+        tasks_executed=runtime.stats().get("tasks_executed", 0) - tasks_before,
+    )
+
+
 def run_ours_pipelined(config: RLConfig) -> RLResult:
     """The paper's ``wait`` sketch: fit each shard as soon as enough
     simulations finish, instead of barriering on the whole stage."""

@@ -13,7 +13,7 @@ import pytest
 
 import repro
 from repro.core.backend import registered_backends
-from repro.errors import GetTimeoutError, TaskError
+from repro.errors import GetTimeoutError, TaskCancelledError, TaskError
 
 #: Every backend shipped with the repo; the matrix grows automatically
 #: when a new one is registered at import time.
@@ -57,6 +57,18 @@ def sleepy(x):
 
     time.sleep(1.0)
     return x
+
+
+@repro.remote(num_returns=3)
+def three_slices(x):
+    return x, x * 10, x * 100
+
+
+@repro.remote
+def write_sentinel(path, gate):
+    with open(path, "w") as handle:
+        handle.write("ran")
+    return gate
 
 
 @repro.remote
@@ -185,6 +197,88 @@ def run_program(backend):
             return final + len(ready)
 
         outcome["effects"] = repro.get(pipeline.remote(5))
+
+        # Task lifecycle (element 8): multiple returns ...
+        first, second, third = three_slices.remote(7)
+        outcome["multi_return"] = repro.get([first, second, third])
+        ready, pending = repro.wait([second], num_returns=1, timeout=5.0)
+        outcome["multi_return_waitable"] = (len(ready), len(pending))
+
+        @repro.remote(num_returns=2)
+        def wrong_arity(x):
+            return x, x, x
+
+        bad_pair = wrong_arity.remote(1)
+        try:
+            repro.get(bad_pair[0])
+            outcome["multi_return_arity"] = "no-error"
+        except TaskError as exc:
+            outcome["multi_return_arity"] = (
+                type(exc).__name__,
+                exc.function_name,
+                "num_returns=2" in exc.cause_repr,
+            )
+
+        # ... cancel: revoked-before-start, too-late, and actor refusal ...
+        gate = slow_tasks(backend, 1)[0]
+        doomed = add.remote(gate, 1)
+        outcome["cancel_took"] = repro.cancel(doomed)
+        try:
+            repro.get(doomed)
+            outcome["cancel_error"] = "no-error"
+        except TaskCancelledError as exc:
+            outcome["cancel_error"] = (
+                type(exc).__name__, exc.function_name, exc.detail
+            )
+        downstream_of_cancelled = add.remote(doomed, 1)
+        try:
+            repro.get(downstream_of_cancelled)
+            outcome["cancel_downstream"] = "no-error"
+        except TaskCancelledError as exc:
+            outcome["cancel_downstream"] = (type(exc).__name__, exc.function_name)
+        finished = square.remote(6)
+        repro.get(finished)
+        outcome["cancel_too_late"] = repro.cancel(finished)
+        try:
+            repro.cancel(acc.add.remote(0))
+            outcome["cancel_actor"] = "no-error"
+        except ValueError as exc:
+            outcome["cancel_actor"] = (
+                type(exc).__name__, "actor" in str(exc)
+            )
+
+        # ... named actors ...
+        named = Accumulator.options(name="parity-acc").remote(5)
+        looked_up = repro.get_actor("parity-acc")
+        outcome["named_actor"] = repro.get(looked_up.add.remote(3))
+        outcome["named_actor_same_chain"] = repro.get(named.total_value.remote())
+        try:
+            Accumulator.options(name="parity-acc").remote(0)
+            outcome["named_collision"] = "no-error"
+        except ValueError as exc:
+            outcome["named_collision"] = (
+                type(exc).__name__, "parity-acc" in str(exc)
+            )
+        try:
+            repro.get_actor("never-created")
+            outcome["named_unknown"] = "no-error"
+        except ValueError as exc:
+            outcome["named_unknown"] = (
+                type(exc).__name__, "never-created" in str(exc)
+            )
+
+        # ... and as_completed, over already-complete and timed-out refs.
+        finished_refs = [square.remote(i) for i in range(4)]
+        repro.get(finished_refs)
+        outcome["as_completed_done"] = repro.get(
+            list(repro.as_completed(finished_refs, timeout=5.0))
+        )
+        stuck = slow_tasks(backend, 2)
+        try:
+            list(repro.as_completed(stuck, timeout=0.05))
+            outcome["as_completed_timeout"] = "no-error"
+        except GetTimeoutError as exc:
+            outcome["as_completed_timeout"] = type(exc).__name__
     finally:
         repro.shutdown()
     return outcome
@@ -238,6 +332,82 @@ def test_wait_validation_is_shared(backend):
             repro.wait([ref], num_returns=-1)
         with pytest.raises(TypeError, match="ObjectRef"):
             repro.get(42)
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_unscheduled_provably_never_runs(tmp_path, backend):
+    """A task cancelled before its dependencies resolve never executes:
+    the side-effect sentinel file it would write must not exist — on any
+    backend, including the multiprocess one (the file is the only channel
+    a child process could leak evidence through)."""
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    try:
+        sentinel = tmp_path / f"{backend}-evidence"
+        gate = slow_tasks(backend, 1)[0]
+        doomed = write_sentinel.remote(str(sentinel), gate)
+        assert repro.cancel(doomed) is True
+        with pytest.raises(TaskCancelledError):
+            repro.get(doomed)
+        # Let the gate finish and the scheduler drain: if the cancelled
+        # task were ever going to run, it would run now.
+        repro.get(gate)
+        repro.get(write_sentinel.remote(str(sentinel) + ".control", gate))
+        assert not sentinel.exists()
+        assert (tmp_path / f"{backend}-evidence.control").exists()
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_effect_from_task_body(backend):
+    """The Cancel effect gives task bodies the same cancellation surface."""
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    try:
+        @repro.remote
+        def canceller():
+            gate_refs = slow_tasks(backend, 1)
+            doomed = add.remote(gate_refs[0], 1)
+            took = yield repro.Cancel(doomed)
+            return took
+
+        assert repro.get(canceller.remote()) is True
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recursive_cancel_tears_down_parked_subgraph(tmp_path, backend):
+    """cancel(recursive=True) also revokes parked dependents, which then
+    never execute (their sentinel files stay absent)."""
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    try:
+        gate = slow_tasks(backend, 1)[0]
+        root = add.remote(gate, 1)
+        child = write_sentinel.remote(str(tmp_path / "child"), root)
+        grandchild = write_sentinel.remote(str(tmp_path / "grandchild"), child)
+        assert repro.cancel(root, recursive=True) is True
+        for ref in (root, child, grandchild):
+            with pytest.raises(TaskCancelledError):
+                repro.get(ref)
+        repro.get(gate)
+        assert not (tmp_path / "child").exists()
+        assert not (tmp_path / "grandchild").exists()
+    finally:
+        repro.shutdown()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_multi_return_refs_independently_consumable(backend):
+    """Each of the k refs stands alone for get and wait."""
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    try:
+        first, second, third = three_slices.remote(3)
+        assert repro.get(third) == 300
+        ready, pending = repro.wait([first], num_returns=1, timeout=5.0)
+        assert (len(ready), len(pending)) == (1, 0)
+        assert repro.get(add.remote(second, 1)) == 31  # refs flow as deps
     finally:
         repro.shutdown()
 
