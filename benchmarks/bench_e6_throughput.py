@@ -179,3 +179,82 @@ def test_e6_proc_true_parallelism(benchmark):
             f"expected >1.5x speedup from true parallelism on {cores} cores, "
             f"got {speedup:.2f}x"
         )
+
+
+# ----------------------------------------------------------------------
+# Proc mode with heavy payloads: throughput on the shm data plane
+# ----------------------------------------------------------------------
+
+#: Each task returns a 1 MB array: with the pipe, every result crosses
+#: the driver's pipes as bytes; with shm, only descriptors do.
+HEAVY_TASKS = 16
+HEAVY_ELEMS = 131_072  # 1 MB of float64
+
+
+@repro.remote
+def heavy_result(n, tag):
+    import numpy
+
+    return numpy.full(n, float(tag))
+
+
+def _heavy_storm(shm_capacity: int) -> dict:
+    from repro.shm.segment import shm_available
+
+    if shm_capacity and not shm_available():
+        return {}
+    repro.init(backend="proc", num_workers=4, shm_capacity=shm_capacity)
+    repro.get(heavy_result.remote(8, 0))  # warm the pool
+    start = time.perf_counter()
+    refs = [heavy_result.remote(HEAVY_ELEMS, i) for i in range(HEAVY_TASKS)]
+    arrays = repro.get(refs, timeout=300.0)
+    elapsed = time.perf_counter() - start
+    assert all(arrays[i][0] == float(i) for i in range(HEAVY_TASKS))
+    volume = HEAVY_TASKS * HEAVY_ELEMS * 8
+    repro.shutdown()
+    return {
+        "elapsed": elapsed,
+        "throughput": HEAVY_TASKS / elapsed,
+        "bandwidth": volume / elapsed,
+    }
+
+
+def test_e6_proc_shm_heavy_payload_throughput(benchmark):
+    """R2 with real payloads: result throughput must not collapse when
+    results are megabytes — the shm data plane keeps the pipes carrying
+    descriptors only, so heavy-payload throughput beats the pipe path."""
+    from repro.shm.segment import shm_available
+
+    if not shm_available():
+        import pytest
+
+        pytest.skip("host has no POSIX shared memory")
+
+    def run_sweep():
+        return {
+            "pipe": _heavy_storm(0),
+            "shm": _heavy_storm(512 * 1024**2),
+        }
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            HEAVY_TASKS,
+            f"{result['elapsed'] * 1e3:.1f} ms",
+            f"{result['throughput']:.1f} tasks/s",
+            f"{result['bandwidth'] / 1e6:.0f} MB/s",
+        )
+        for name, result in sweep.items()
+    ]
+    print_table(
+        f"E6: proc heavy-result storm ({HEAVY_TASKS} x 1 MB results)",
+        ["data plane", "tasks", "makespan", "throughput", "result bandwidth"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        {f"{name}_mb_s": round(r["bandwidth"] / 1e6) for name, r in sweep.items()}
+    )
+    assert sweep["shm"]["throughput"] > sweep["pipe"]["throughput"], (
+        "the shm data plane should beat the pipe on 1 MB results"
+    )

@@ -63,6 +63,34 @@ successor systems' extensions (6–8):
    ``as_completed(refs, timeout=...)`` iterates futures in completion
    order for pipelined consumption — all implemented once in the shared
    core, held to identical observable semantics on every backend.
+9. large objects ride a **zero-copy shared-memory data plane**
+   (:mod:`repro.shm`, the paper's in-memory object store): on the
+   ``proc`` backend, any value whose serialized size exceeds the inline
+   threshold is written once into a shared-memory arena and crosses
+   every process boundary as a ~100-byte descriptor — workers attach
+   the arena lazily and reconstruct numpy arrays as read-only views
+   *aliasing* shared memory, never copying the payload.  Sizing comes
+   from ``init("proc", shm_capacity=...)`` (0 disables; hosts without
+   POSIX shm fall back to the pipe transparently, and
+   ``stats()["shm"]`` reports ``shm_hits`` / ``zero_copy_bytes`` /
+   ``pipe_fallbacks`` either way).  The programming model is unchanged
+   — the same program merely stops paying a serialize+copy round trip
+   per large value:
+
+   >>> import repro
+   >>> runtime = repro.init(backend="proc", num_workers=1)
+   >>> payload = b"w" * (1 << 20)       # 1 MiB: takes the data plane
+   >>> weights = repro.put(payload)
+   >>> @repro.remote
+   ... def nbytes(data):
+   ...     return len(data)
+   >>> repro.get(nbytes.remote(weights), timeout=60.0)
+   1048576
+   >>> repro.get(weights) == payload    # identical with shm on or off
+   True
+   >>> isinstance(runtime.stats()["shm"]["shm_hits"], int)
+   True
+   >>> repro.shutdown()                 # unlinks every shm segment
 
 All of it runs identically on every registered backend; see
 :mod:`repro.core.backend`.

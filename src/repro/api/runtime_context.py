@@ -36,9 +36,12 @@ def init(backend: str = "sim", **kwargs: Any):
         ``worker_crash_policy`` (``"replace"`` replays stateless tasks
         from lineage after a worker crash, ``"fail"`` surfaces
         ``WorkerCrashedError`` immediately), ``inline_threshold`` (bytes;
-        serialized arguments at or below it ship inline with the task,
-        larger ones are fetched from the driver store and cached
-        per-worker), and ``worker_cache_bytes``.
+        serialized objects at or below it ship inline in pipe messages,
+        larger ones take the data plane), ``worker_cache_bytes``, and
+        ``shm_capacity`` (byte budget of the zero-copy shared-memory
+        data plane for large objects — default 256 MiB, ``0`` disables
+        it and every object takes the pipe; hosts without POSIX shared
+        memory fall back automatically).
     """
     global _current_runtime
     if _current_runtime is not None:

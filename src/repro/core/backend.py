@@ -59,12 +59,20 @@ class BackendCapabilities:
         ``kill_worker`` on proc) for failure testing.
     ``multiprocess``
         Tasks execute in worker *processes* distinct from the driver.
+    ``shared_memory``
+        The backend implements a zero-copy shared-memory data plane for
+        large objects (``repro.shm``): payloads are written once into
+        shm arenas and cross process boundaries as descriptors, not
+        bytes.  Declares *support* — at runtime the backend still falls
+        back to its byte path on hosts without POSIX shm or when
+        initialized with ``shm_capacity=0``.
     """
 
     true_parallelism: bool = False
     virtual_time: bool = False
     fault_injection: bool = False
     multiprocess: bool = False
+    shared_memory: bool = False
 
 
 @runtime_checkable
@@ -269,6 +277,9 @@ register_backend(
     "proc",
     _load_proc,
     BackendCapabilities(
-        true_parallelism=True, fault_injection=True, multiprocess=True
+        true_parallelism=True,
+        fault_injection=True,
+        multiprocess=True,
+        shared_memory=True,
     ),
 )

@@ -55,6 +55,18 @@ def partition_by_ready(
     return ready, pending
 
 
+def unwrap_loaded(value: Any) -> Any:
+    """Raise if an already-deserialized stored object is a captured
+    error; return it unchanged otherwise.  The zero-copy ``get`` paths
+    (shared-memory reads arrive as values, not bytes) share this with
+    :func:`unwrap_value`."""
+    from repro.core.worker import ErrorValue  # cycle: worker imports effects
+
+    if isinstance(value, ErrorValue):
+        raise value.to_exception()
+    return value
+
+
 def unwrap_value(data: bytes) -> Any:
     """Deserialize a stored object; raise if it is a captured error.
 
@@ -62,12 +74,7 @@ def unwrap_value(data: bytes) -> Any:
     store an :class:`~repro.core.worker.ErrorValue` in place of their
     result, and the error surfaces wherever the value is consumed.
     """
-    from repro.core.worker import ErrorValue  # cycle: worker imports effects
-
-    value = deserialize(data)
-    if isinstance(value, ErrorValue):
-        raise value.to_exception()
-    return value
+    return unwrap_loaded(deserialize(data))
 
 
 def check_cluster_feasible(cluster, resources, function_name: str) -> None:

@@ -14,6 +14,11 @@ picklable by construction: user *code* is pre-serialized with
 :func:`~repro.utils.serialization.serialize_portable`, user *values* with
 plain pickle, and framework objects (ids, refs, resource requests,
 :class:`~repro.core.worker.ErrorValue`) are simple dataclasses.
+
+Large user values do not cross the pipe at all when the shared-memory
+data plane is on: FETCH/GET replies and RESULT blobs carry a
+:class:`ShmDescriptor` (segment name + slot + size) instead of bytes,
+and the payload moves through :mod:`repro.shm` zero-copy.
 """
 
 from __future__ import annotations
@@ -27,19 +32,40 @@ TASK = "task"          # (TASK, payload_dict): execute one task
 SHUTDOWN = "shutdown"  # (SHUTDOWN,): exit the worker loop
 
 # -- worker -> driver (task lifecycle) ----------------------------------
-RESULT = "result"      # (RESULT, [result_bytes, ...], failed): the task
-                       # finished; one blob per return slot (num_returns)
+RESULT = "result"      # (RESULT, [blob, ...], failed): the task finished;
+                       # one entry per return slot (num_returns), each
+                       # either result bytes or a ShmDescriptor the worker
+                       # already filled (the driver seals it on receipt)
 
 # -- worker -> driver (requests while a task runs) ----------------------
 FETCH = "fetch"                # (FETCH, object_id) -> (OK, bytes)
 SUBMIT = "submit"              # (SUBMIT, payload) -> (OK, ObjectRef | tuple)
-GET = "get"                    # (GET, [object_id], timeout) -> (OK, [bytes])
+GET = "get"                    # (GET, [object_id], timeout) -> (OK, [bytes | ShmDescriptor])
 WAIT = "wait"                  # (WAIT, [refs], num_returns, timeout) -> (OK, (ready, pending))
 PUT = "put"                    # (PUT, bytes) -> (OK, ObjectRef)
 CANCEL = "cancel"              # (CANCEL, ref, recursive) -> (OK, bool)
 CREATE_ACTOR = "create_actor"  # (CREATE_ACTOR, payload) -> (OK, ActorHandle)
 CALL_ACTOR = "call_actor"      # (CALL_ACTOR, payload) -> (OK, ObjectRef)
 GET_ACTOR = "get_actor"        # (GET_ACTOR, name) -> (OK, ActorHandle)
+
+# -- worker -> driver (the shared-memory data plane) --------------------
+# Metadata-only variants of FETCH/PUT/RESULT: large objects cross the
+# pipe as ~100-byte ShmDescriptors; only small ones ship as bytes.
+# Argument descriptors ship embedded in SlotRef (no round trip);
+# SHM_ATTACH is the explicit metadata refetch for everything else.
+SHM_ATTACH = "shm_attach"  # (SHM_ATTACH, object_id) -> (OK, ShmDescriptor | bytes)
+                           # descriptor when shm-resident; bytes fallback
+SHM_CREATE = "shm_create"  # (SHM_CREATE, object_id | None, nbytes)
+                           #   -> (OK, ShmDescriptor | None): reserve an
+                           # unsealed allocation the worker fills through
+                           # its own mapping (None: budget full, take the
+                           # pipe); object_id=None allocates a fresh id
+SHM_SEAL = "shm_seal"      # (SHM_SEAL, object_id) -> (OK, ObjectRef):
+                           # publish a worker-filled allocation (put path;
+                           # result blobs seal implicitly on RESULT)
+SHM_ABORT = "shm_abort"    # (SHM_ABORT, object_id) -> (OK, None): return
+                           # a granted-but-unwritable allocation to the
+                           # arena (the worker is falling back to bytes)
 
 # -- driver -> worker (replies) -----------------------------------------
 OK = "ok"    # (OK, value)
@@ -55,6 +81,27 @@ class SlotRef:
     the message's ``inline`` table, large ones stay in the driver store
     and the worker fetches them on demand into its local cache (the
     inline-vs-store threshold of :mod:`repro.utils.serialization`).
+    Shared-memory-resident objects ship their :class:`ShmDescriptor`
+    *embedded* in ``shm`` — the worker attaches and reads zero-copy with
+    no extra driver round trip (descriptors stay valid for the object's
+    lifetime: stored objects are pinned).
     """
 
     object_id: ObjectID
+    shm: "ShmDescriptor | None" = None
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Where a large object's payload lives in shared memory.
+
+    This is what crosses the pipe in place of the payload: the receiver
+    attaches ``segment`` lazily (cached per segment), takes its refcount
+    cell for ``slot``, and reads ``size`` framed bytes zero-copy.  Sent
+    in FETCH/GET replies, RESULT blobs, and SHM_CREATE grants.
+    """
+
+    object_id: ObjectID
+    segment: str
+    slot: int
+    size: int

@@ -21,6 +21,16 @@ Architecture (one instance = one pool):
   results/arguments live as bytes in a
   :class:`~repro.objectstore.store.LocalObjectStore` (results pinned —
   they are the only replica).
+* **Two data planes.**  Small objects (≤ ``inline_threshold``) ride the
+  pipes as bytes, exactly as above.  Large ones take the zero-copy
+  shared-memory plane (:mod:`repro.shm`, capability-gated by
+  ``shm_capacity`` and host support): payloads are written once into a
+  sealed shm arena — by the driver on ``put``, by the *worker itself*
+  for large results (``SHM_CREATE`` grant, then a descriptor in
+  ``RESULT``) — and every subsequent hop (argument attach, driver get,
+  broadcast) moves only a descriptor while readers reconstruct views
+  aliasing the arena.  The coordinator's reaper reclaims refcounts held
+  by crashed workers, and shutdown unlinks every segment.
 * **Crash recovery**: a dead worker process is detected by its service
   thread (EOF on the pipe).  Stateless in-flight tasks are replayed from
   their spec — lineage replay, up to ``max_reconstructions`` — while
@@ -61,6 +71,7 @@ from repro.core.protocol import (
     check_cluster_feasible,
     normalize_get_refs,
     partition_by_ready,
+    unwrap_loaded,
     unwrap_value,
     validate_wait_args,
 )
@@ -80,20 +91,30 @@ from repro.errors import (
 )
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
-from repro.proc.messages import SlotRef
+from repro.proc.messages import ShmDescriptor, SlotRef
 from repro.proc.worker import worker_main
+from repro.shm.coordinator import ShmCoordinator
+from repro.shm.segment import shm_available, usable_shm_budget
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
 from repro.utils.serialization import (
     ByteAccountant,
     DEFAULT_INLINE_THRESHOLD,
+    deserialize_frame,
     deserialize_portable,
     serialize,
+    serialize_buffers,
     serialize_portable,
     should_inline,
+    write_frame,
 )
 
 #: Valid values of the ``worker_crash_policy`` init option.
 CRASH_POLICIES = ("replace", "fail")
+
+#: Default byte budget of the shared-memory data plane (``shm_capacity``
+#: init option; 0 disables it).  Backed by lazily-committed pages: the
+#: budget reserves address space, not resident memory.
+DEFAULT_SHM_CAPACITY = 256 * 1024**2
 
 #: Exception types that survive a pickle round-trip over the worker pipe
 #: (their constructors accept the single message arg pickle replays).
@@ -150,6 +171,7 @@ class ProcRuntime:
         worker_crash_policy: str = "replace",
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
         worker_cache_bytes: int = 64 * 1024**2,
+        shm_capacity: int = DEFAULT_SHM_CAPACITY,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
         if num_workers is None:
@@ -170,6 +192,12 @@ class ProcRuntime:
                 "invalid init option for backend 'proc': inline_threshold "
                 "must be >= 0 and worker_cache_bytes > 0"
             )
+        if not isinstance(shm_capacity, int) or shm_capacity < 0:
+            raise BackendError(
+                f"invalid init option shm_capacity={shm_capacity!r} for "
+                "backend 'proc'; must be a non-negative integer (0 disables "
+                "the shared-memory data plane)"
+            )
         self.seed = seed
         self.ids = IDGenerator(namespace=f"repro-proc/{seed}")
         self.closed = False
@@ -187,6 +215,23 @@ class ProcRuntime:
             self.head_node_id,
             capacity=sum(n.object_store_capacity for n in self.cluster.nodes),
         )
+        #: The zero-copy data plane: large objects live in shared-memory
+        #: arenas and cross the pipe as descriptors.  Capability-gated —
+        #: a host without POSIX shm (or ``shm_capacity=0``) falls back
+        #: to the pipe path transparently.
+        self._shm: Optional[ShmCoordinator] = None
+        if shm_capacity > 0 and shm_available():
+            # Clamp to what the host's shm filesystem can actually back
+            # (Docker defaults /dev/shm to 64 MB; overrunning it is a
+            # SIGBUS, not an exception).  Too small ⇒ pipe-only.
+            shm_capacity = usable_shm_budget(shm_capacity)
+        if shm_capacity > 0 and shm_available():
+            self._shm = ShmCoordinator(
+                self.head_node_id,
+                capacity=shm_capacity,
+                num_workers=num_workers,
+                seed=seed,
+            )
         self._deps = DependencyTracker()
         self._functions: dict[FunctionID, Callable] = {}
         self.actors = ActorRegistry()
@@ -206,6 +251,10 @@ class ProcRuntime:
         self._acct_stored = ByteAccountant()
         self._acct_fetched = ByteAccountant()
         self._acct_results = ByteAccountant()
+        #: The data-plane ledger: zero_copy_bytes/shm_hits count objects
+        #: served as descriptors, pipe_fallbacks the large objects that
+        #: crossed the pipe anyway.
+        self._acct_shm = ByteAccountant()
 
         self._mp = multiprocessing.get_context("spawn")
         with self._cond:
@@ -262,7 +311,7 @@ class ProcRuntime:
         """Gate on unproduced dependencies, else enqueue (lock held)."""
         self._lifecycle.register(spec)
         missing = {
-            dep for dep in spec.dependencies() if not self._store.contains(dep)
+            dep for dep in spec.dependencies() if not self._has_object(dep)
         }
         if missing:
             self._deps.add(spec, missing)
@@ -380,8 +429,7 @@ class ProcRuntime:
         deadline = None if timeout is None else time.monotonic() + timeout
         values = []
         for ref in ref_list:
-            data = self._wait_for_object(ref.object_id, deadline)
-            values.append(unwrap_value(data))
+            values.append(self._wait_for_value(ref.object_id, deadline))
         return values[0] if single else values
 
     def wait(
@@ -396,7 +444,7 @@ class ProcRuntime:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                ready = [r for r in ref_list if self._store.contains(r.object_id)]
+                ready = [r for r in ref_list if self._has_object(r.object_id)]
                 if len(ready) >= num_returns:
                     break
                 remaining = None
@@ -406,15 +454,48 @@ class ProcRuntime:
                         break
                 self._cond.wait(timeout=remaining)
             ready_ids = {
-                r.object_id for r in ref_list if self._store.contains(r.object_id)
+                r.object_id for r in ref_list if self._has_object(r.object_id)
             }
         return partition_by_ready(ref_list, lambda r: r.object_id in ready_ids)
 
     def put(self, value: Any) -> ObjectRef:
         self._check_open()
-        data = serialize(value)
+        if self._shm is not None:
+            serialized = serialize_buffers(value)
+            if not should_inline(serialized.total_bytes, self._inline_threshold):
+                return self._put_large(value, serialized)
+            data = serialized.in_band_bytes() or serialize(value)
+        else:
+            data = serialize(value)
         with self._cond:
             object_id = self.ids.object_id()
+            self._store_bytes(object_id, data)
+        return ObjectRef(object_id)
+
+    def _put_large(self, value: Any, serialized) -> ObjectRef:
+        """A large driver-side put: two-phase shm write so the multi-MB
+        frame copy never runs under the runtime lock (the allocation is
+        pending+pinned meanwhile), with pipe fallback on a full budget."""
+        with self._cond:
+            object_id = self.ids.object_id()
+            window = self._shm.begin_put(object_id, serialized.frame_bytes)
+        if window is not None:
+            try:
+                write_frame(window, serialized)
+            except BaseException:
+                with self._cond:
+                    self._shm.abort(object_id)
+                raise
+            with self._cond:
+                self._shm.finish_put(object_id)
+                self._acct_shm.record_zero_copy(serialized.frame_bytes)
+                self._object_arrived(object_id)
+            return ObjectRef(object_id)
+        # Budget full: the pipe store still works.  The re-join pickle
+        # also happens outside the lock.
+        data = serialized.in_band_bytes() or serialize(value)
+        with self._cond:
+            self._acct_shm.record_pipe_fallback(serialized.total_bytes)
             self._store_bytes(object_id, data)
         return ObjectRef(object_id)
 
@@ -429,14 +510,14 @@ class ProcRuntime:
         return self._cond
 
     def _result_ready(self, object_id: ObjectID) -> bool:
-        return self._store.contains(object_id)
+        return self._has_object(object_id)
 
     def _store_cancelled(self, spec: TaskSpec) -> None:
         data = serialize(
             cancelled_error_value(spec, "cancelled before a result was produced")
         )
         for object_id in spec.all_return_ids():
-            if not self._store.contains(object_id):
+            if not self._has_object(object_id):
                 self._store_bytes(object_id, data)
 
     def _parked_dependents(self, object_id: ObjectID) -> list:
@@ -466,6 +547,9 @@ class ProcRuntime:
                 "args_stored": self._acct_stored.snapshot(),
                 "args_fetched": self._acct_fetched.snapshot(),
                 "results_shipped": self._acct_results.snapshot(),
+                "shm_enabled": self._shm is not None,
+                "shm": self._acct_shm.snapshot(),
+                "shm_store": None if self._shm is None else self._shm.stats(),
             }
 
     # ------------------------------------------------------------------
@@ -531,6 +615,11 @@ class ProcRuntime:
                 worker.conn.close()
             except OSError:
                 pass
+        if self._shm is not None:
+            # Guaranteed unlinking: every worker process is dead or
+            # detached by now, so no shm segment name survives shutdown
+            # — even after worker crashes.
+            self._shm.shutdown()
 
     # ------------------------------------------------------------------
     # Worker pool internals
@@ -544,7 +633,10 @@ class ProcRuntime:
         )
         process = self._mp.Process(
             target=worker_main,
-            args=(child_conn, index, self.seed, self._worker_cache_bytes),
+            args=(
+                child_conn, index, self.seed, self._worker_cache_bytes,
+                self._shm is not None, self._inline_threshold,
+            ),
             name=f"repro-proc-worker-{index}",
             daemon=True,
         )
@@ -685,6 +777,20 @@ class ProcRuntime:
             def slot(value: Any) -> Any:
                 if not isinstance(value, ObjectRef):
                     return value
+                if self._shm is not None:
+                    described = self._shm.describe(value.object_id)
+                    if described is not None:
+                        # Shared-memory resident: the descriptor itself
+                        # rides in the SlotRef — the worker attaches and
+                        # reads zero-copy with no extra round trip.
+                        segment, shm_slot, size = described
+                        self._acct_shm.record_zero_copy(size)
+                        return SlotRef(
+                            value.object_id,
+                            shm=ShmDescriptor(
+                                value.object_id, segment, shm_slot, size
+                            ),
+                        )
                 data = self._store.get(value.object_id)
                 if data is None:
                     raise ObjectLostError(
@@ -746,7 +852,9 @@ class ProcRuntime:
             worker.inflight.remove(spec)
             worker.tasks_done += 1
             self._tasks_executed += 1
-            self._acct_results.record(sum(len(data) for data in blobs))
+            self._acct_results.record(
+                sum(len(data) for data in blobs if not isinstance(data, ShmDescriptor))
+            )
             if spec.actor_id is not None:
                 record = self.actors.get(spec.actor_id)
                 if record is not None and not record.dead and not failed:
@@ -757,8 +865,21 @@ class ProcRuntime:
                     else:
                         record.methods_executed += 1
             if self._lifecycle.is_cancelled(spec.task_id):
-                return  # cancelled mid-run: the marker owns the slots
+                # Cancelled mid-run: the marker owns the slots; shm
+                # allocations the worker filled are dropped unsealed.
+                if self._shm is not None:
+                    for blob in blobs:
+                        if isinstance(blob, ShmDescriptor):
+                            self._shm.abort(blob.object_id)
+                return
             for object_id, data in zip(spec.all_return_ids(), blobs):
+                if isinstance(data, ShmDescriptor):
+                    # The payload is already in shared memory (the worker
+                    # wrote it through its own mapping): publish it.
+                    self._shm.seal(object_id)
+                    self._acct_shm.record_zero_copy(data.size)
+                    self._object_arrived(object_id)
+                    continue
                 try:
                     self._store_bytes(object_id, data)
                 except ReproError as exc:
@@ -786,6 +907,14 @@ class ProcRuntime:
                 )
             elif tag == msg.PUT:
                 reply = self._put_bytes(message[1])
+            elif tag == msg.SHM_ATTACH:
+                reply = self._shm_attach(message[1])
+            elif tag == msg.SHM_CREATE:
+                reply = self._shm_create(worker, message[1], message[2])
+            elif tag == msg.SHM_SEAL:
+                reply = self._shm_seal(message[1])
+            elif tag == msg.SHM_ABORT:
+                reply = self._shm_abort(message[1])
             elif tag == msg.CANCEL:
                 reply = self.cancel(message[1], recursive=message[2])
             elif tag == msg.GET_ACTOR:
@@ -813,12 +942,84 @@ class ProcRuntime:
     def _fetch_bytes(self, object_id: ObjectID) -> bytes:
         with self._cond:
             data = self._store.get(object_id)
+            if data is None and self._shm is not None and self._shm.contains(
+                object_id
+            ):
+                # A worker that cannot map the segment asked for bytes:
+                # re-join the shm payload in-band (the one copy the data
+                # plane normally avoids).
+                data = serialize(self._shm.load(object_id))
+                self._acct_shm.record_pipe_fallback(len(data))
             if data is None:
                 raise ObjectLostError(
                     f"object {object_id} is not resident in the driver store"
                 )
             self._acct_fetched.record(len(data))
             return data
+
+    def _blob_for(self, object_id: ObjectID) -> Any:
+        """The pipe representation of a resident object: a descriptor
+        when it lives in shared memory, its bytes otherwise (lock held)."""
+        if self._shm is not None:
+            described = self._shm.describe(object_id)
+            if described is not None:
+                segment, slot, size = described
+                self._acct_shm.record_zero_copy(size)
+                return ShmDescriptor(object_id, segment, slot, size)
+        return self._store.get(object_id)
+
+    def _shm_attach(self, object_id: ObjectID) -> Any:
+        """Serve a worker's metadata-only fetch: descriptor when the
+        object is shm-resident, bytes fallback otherwise."""
+        with self._cond:
+            blob = self._blob_for(object_id)
+            if blob is None:
+                raise ObjectLostError(
+                    f"object {object_id} is not resident in the driver store"
+                )
+            if not isinstance(blob, ShmDescriptor):
+                self._acct_fetched.record(len(blob))
+            return blob
+
+    def _shm_abort(self, object_id: ObjectID) -> None:
+        """A worker hands back a granted allocation it could not write
+        (it is falling back to the pipe): return the space at once."""
+        with self._cond:
+            if self._shm is not None:
+                self._shm.abort_if_pending(object_id)
+
+    def _shm_create(
+        self, worker: _WorkerHandle, object_id: Optional[ObjectID], nbytes: int
+    ) -> Optional[ShmDescriptor]:
+        """Grant (or refuse) a worker's request to write ``nbytes``
+        directly into shared memory.  ``object_id=None`` allocates a
+        fresh id (the put path)."""
+        with self._cond:
+            if self._shm is None:
+                return None
+            if object_id is None:
+                object_id = self.ids.object_id()
+            granted = self._shm.create_for_client(
+                object_id, nbytes, client=worker.index + 1
+            )
+            if granted is None:
+                self._acct_shm.record_pipe_fallback(nbytes)
+                return None
+            segment, slot, size = granted
+            return ShmDescriptor(object_id, segment, slot, size)
+
+    def _shm_seal(self, object_id: ObjectID) -> ObjectRef:
+        """Publish a worker-filled allocation (the put path's second
+        phase) and wake anything parked on the object."""
+        with self._cond:
+            if self._shm is None or not self._shm.seal(object_id):
+                raise ObjectLostError(
+                    f"shm allocation for {object_id} no longer exists"
+                )
+            size = self._shm.size_of(object_id) or 0
+            self._acct_shm.record_zero_copy(size)
+            self._object_arrived(object_id)
+        return ObjectRef(object_id)
 
     def _serve_get(
         self, worker: _WorkerHandle, object_ids: list, timeout: Optional[float]
@@ -832,13 +1033,13 @@ class ProcRuntime:
         for object_id in object_ids:
             arrived = self._wait_serving(
                 worker,
-                lambda oid=object_id: self._store.contains(oid),
+                lambda oid=object_id: self._has_object(oid),
                 deadline,
             )
             if not arrived:
                 raise GetTimeoutError(f"get timed out waiting for {object_id}")
             with self._cond:
-                blobs.append(self._store.get(object_id))
+                blobs.append(self._blob_for(object_id))
         return blobs
 
     def _serve_wait(
@@ -855,13 +1056,13 @@ class ProcRuntime:
         self._wait_serving(
             worker,
             lambda: sum(
-                1 for r in ref_list if self._store.contains(r.object_id)
+                1 for r in ref_list if self._has_object(r.object_id)
             ) >= num_returns,
             deadline,
         )
         with self._cond:
             ready_ids = {
-                r.object_id for r in ref_list if self._store.contains(r.object_id)
+                r.object_id for r in ref_list if self._has_object(r.object_id)
             }
         return partition_by_ready(ref_list, lambda r: r.object_id in ready_ids)
 
@@ -936,21 +1137,44 @@ class ProcRuntime:
     # Object store plumbing
     # ------------------------------------------------------------------
 
+    def _has_object(self, object_id: ObjectID) -> bool:
+        """Residency across both planes: pipe store or shm (lock held)."""
+        if self._store.contains(object_id):
+            return True
+        return self._shm is not None and self._shm.contains(object_id)
+
     def _store_bytes(self, object_id: ObjectID, data: bytes) -> None:
         """Insert a result object and wake dependents/waiters (lock held).
 
         Results are pinned: the driver store is their only replica, so
         LRU pressure must evict nothing (capacity overflow surfaces as
-        ObjectStoreFullError instead of a silent loss)."""
+        ObjectStoreFullError instead of a silent loss).
+
+        Deliberately does NOT touch a pending shm grant for the same id
+        (e.g. a cancellation marker racing a worker's result write): the
+        granted slot may be mid-``write_frame`` in the worker, so its
+        space is only reclaimed once the writer is provably done (its
+        RESULT arrived, its SHM_ABORT arrived, or it crashed)."""
         self._store.put(object_id, data)
         self._store.pin(object_id)
+        self._object_arrived(object_id)
+
+    def _object_arrived(self, object_id: ObjectID) -> None:
+        """Wake dependents and waiters of a newly resident object,
+        whichever plane it landed in (lock held)."""
         for spec in self._deps.mark_ready(object_id):
             self._enqueue(spec)
         self._cond.notify_all()
 
-    def _wait_for_object(self, object_id: ObjectID, deadline: Optional[float]) -> bytes:
+    def _wait_for_value(self, object_id: ObjectID, deadline: Optional[float]) -> Any:
+        """Block until an object is resident, then load and unwrap it —
+        zero-copy from shm (reconstructed buffers alias the arena),
+        deserialized from bytes on the pipe plane.  Deserialization of
+        either plane happens outside the lock (the object is pinned, so
+        neither the window nor the bytes can move)."""
+        view = data = None
         with self._cond:
-            while not self._store.contains(object_id):
+            while not self._has_object(object_id):
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -959,7 +1183,15 @@ class ProcRuntime:
                             f"get timed out waiting for {object_id}"
                         )
                 self._cond.wait(timeout=remaining)
-            return self._store.get(object_id)
+            if self._shm is not None:
+                view = self._shm.view(object_id)
+            if view is not None:
+                self._acct_shm.record_zero_copy(view.nbytes)
+            else:
+                data = self._store.get(object_id)
+        if view is not None:
+            return unwrap_loaded(deserialize_frame(view))
+        return unwrap_value(data)
 
     # ------------------------------------------------------------------
     # Crash handling
@@ -990,6 +1222,12 @@ class ProcRuntime:
                 worker.conn.close()
             except OSError:
                 pass
+            if self._shm is not None:
+                # The reaper: zero the dead worker's refcount column and
+                # abort its unsealed allocations, so objects it was
+                # reading mid-crash become reclaimable and half-written
+                # results never become readable.
+                self._shm.reclaim_client(worker.index + 1)
             self.actors.mark_dead_on_node(worker.node_id)
             for spec in doomed:
                 self._resolve_crashed_task(spec)

@@ -36,7 +36,7 @@ from repro.core.actors import (
 )
 from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
 from repro.core.object_ref import ObjectRef
-from repro.core.protocol import normalize_get_refs, unwrap_value, validate_wait_args
+from repro.core.protocol import normalize_get_refs, unwrap_loaded, validate_wait_args
 from repro.core.task import TaskSpec, _UNSET, resolve_task_options
 from repro.core.worker import (
     ErrorValue,
@@ -47,13 +47,18 @@ from repro.core.worker import (
 from repro.errors import ReproError
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
-from repro.proc.messages import SlotRef
+from repro.proc.messages import ShmDescriptor, SlotRef
 from repro.utils.ids import IDGenerator, NodeID
 from repro.utils.serialization import (
+    DEFAULT_INLINE_THRESHOLD,
     deserialize,
+    deserialize_frame,
     deserialize_portable,
     serialize,
+    serialize_buffers,
     serialize_portable,
+    should_inline,
+    write_frame,
 )
 
 
@@ -146,7 +151,7 @@ class WorkerRuntime:
         blobs = self._worker.rpc(
             msg.GET, [ref.object_id for ref in ref_list], timeout
         )
-        values = [unwrap_value(data) for data in blobs]
+        values = [unwrap_loaded(self._worker.materialize(blob)) for blob in blobs]
         return values[0] if single else values
 
     def wait(
@@ -160,7 +165,17 @@ class WorkerRuntime:
         return self._worker.rpc(msg.WAIT, ref_list, num_returns, timeout)
 
     def put(self, value: Any) -> ObjectRef:
-        return self._worker.rpc(msg.PUT, serialize(value))
+        worker = self._worker
+        if worker.shm_enabled:
+            serialized = serialize_buffers(value)
+            if not should_inline(serialized.total_bytes, worker.inline_threshold):
+                granted = worker._ship_value(None, serialized)
+                if granted is not None:
+                    return worker.rpc(msg.SHM_SEAL, granted.object_id)
+            data = serialized.in_band_bytes()
+            if data is not None:
+                return worker.rpc(msg.PUT, data)
+        return worker.rpc(msg.PUT, serialize(value))
 
     def create_actor(
         self, actor_class, class_name, args, kwargs, resources,
@@ -201,7 +216,15 @@ class WorkerRuntime:
 class ProcWorker:
     """One child process: executes tasks and hosts pinned actor state."""
 
-    def __init__(self, conn, index: int, seed: int, cache_capacity: int) -> None:
+    def __init__(
+        self,
+        conn,
+        index: int,
+        seed: int,
+        cache_capacity: int,
+        shm_enabled: bool = False,
+        inline_threshold: Optional[int] = None,
+    ) -> None:
         self.conn = conn
         self.index = index
         self.node_id = NodeID.from_seed(f"repro-proc/{seed}/worker/{index}")
@@ -213,6 +236,85 @@ class ProcWorker:
         self.proxy = WorkerRuntime(self)
         self._effect_handler = _ProcEffectHandler(self)
         self.tasks_executed = 0
+        #: The shared-memory data plane (lazy segment attach; refcount
+        #: cell column = worker index + 1, 0 being the driver's).
+        self.shm_enabled = shm_enabled
+        self.inline_threshold = (
+            inline_threshold if inline_threshold is not None
+            else DEFAULT_INLINE_THRESHOLD
+        )
+        self.shm = None
+        if shm_enabled:
+            try:
+                from repro.shm.store import ShmClient
+
+                self.shm = ShmClient(client_index=index + 1)
+            except Exception:  # pragma: no cover - shm-less host
+                self.shm_enabled = False
+        #: Stack of per-task lists of (segment, slot) refcount holds; one
+        #: frame per (reentrant) execute() invocation, released in its
+        #: ``finally`` so zero-copy views stay valid for the task's
+        #: whole lifetime.
+        self._shm_holds: list[list] = []
+
+    # ------------------------------------------------------------------
+    # Shared-memory plumbing
+    # ------------------------------------------------------------------
+
+    def _hold_descriptor(self, descriptor: ShmDescriptor) -> None:
+        """Take this worker's refcount on a descriptor's slot, scoped to
+        the innermost executing task (released in execute()'s finally)."""
+        self.shm.hold(descriptor.segment, descriptor.slot)
+        if self._shm_holds:
+            self._shm_holds[-1].append((descriptor.segment, descriptor.slot))
+        else:  # outside any task (cannot happen in practice): release now
+            self.shm.release(descriptor.segment, descriptor.slot)
+
+    def materialize(self, blob: Any) -> Any:
+        """Turn a pipe blob — bytes or ShmDescriptor — into a value.
+
+        Descriptors deserialize zero-copy: reconstructed buffers (numpy
+        arrays) alias the shared segment, valid at least for the
+        enclosing task.  If the segment cannot be mapped here (exotic
+        namespaces, a client that failed to construct), the driver still
+        has the object — fall back to a one-off byte FETCH."""
+        if isinstance(blob, ShmDescriptor):
+            if self.shm is not None:
+                try:
+                    self._hold_descriptor(blob)
+                    return deserialize_frame(self.shm.read(blob.segment, blob.slot))
+                except OSError:
+                    pass
+            blob = self.rpc(msg.FETCH, blob.object_id)
+        return deserialize(blob)
+
+    def _ship_value(self, object_id, serialized) -> Any:
+        """Write a split value into shm and return its descriptor, or
+        ``None`` when the data plane cannot take it (disabled, budget
+        full, attach failure) — the caller then ships bytes."""
+        if not self.shm_enabled:
+            return None
+        try:
+            granted = self.rpc(msg.SHM_CREATE, object_id, serialized.frame_bytes)
+        except ReproError:
+            return None
+        if granted is None:
+            return None
+        try:
+            write_frame(
+                self.shm.write_view(granted.segment, granted.slot), serialized
+            )
+            return granted
+        except (ReproError, OSError):
+            # An unmappable segment: hand the grant back (else its pinned
+            # allocation would bleed shm budget forever) and take the
+            # pipe.  (Pipe failures resurface on the next send/recv and
+            # follow the normal crash path.)
+            try:
+                self.rpc(msg.SHM_ABORT, granted.object_id)
+            except ReproError:
+                pass
+            return None
 
     # ------------------------------------------------------------------
     # Driver round-trips
@@ -262,6 +364,8 @@ class ProcWorker:
             return  # driver went away (shutdown or crash): just exit
         finally:
             runtime_context._current_runtime = None
+            if self.shm is not None:
+                self.shm.detach_all()
             try:
                 self.conn.close()
             except OSError:
@@ -290,6 +394,8 @@ class ProcWorker:
             actor_method=payload.get("method"),
         )
         pinned: list = []
+        holds: list = []
+        self._shm_holds.append(holds)
         try:
             try:
                 args, kwargs, upstream = self._resolve_call(payload, pinned)
@@ -308,24 +414,46 @@ class ProcWorker:
         finally:
             for object_id in pinned:
                 self.cache.unpin(object_id)
+            self._shm_holds.pop()
+            for segment, slot in holds:
+                self.shm.release(segment, slot)
 
     def _pack(self, spec: TaskSpec, result: Any) -> tuple:
-        """Serialize a result into ``([bytes, ...], failed)``: one blob
-        per return slot (``num_returns``).  ``serialize`` wraps every
+        """Serialize a result into ``([blob, ...], failed)``: one entry
+        per return slot (``num_returns``), each either bytes (small
+        values, errors, shm-less fallback) or a :class:`ShmDescriptor`
+        the worker has already written through its own mapping — the
+        payload then never crosses the pipe.  Serialization wraps every
         pickling failure (PicklingError, recursion, weird user
         __reduce__) in TypeError, so this cannot let an unpicklable
         return crash the worker."""
         values = split_result_values(spec, result)
         blobs = []
         failed = False
-        for value in values:
+        for value, object_id in zip(values, spec.all_return_ids()):
             try:
-                blobs.append(serialize(value))
+                blob = self._pack_one(value, object_id)
             except TypeError as exc:
                 value = error_value_from(spec, exc)
-                blobs.append(serialize(value))
+                blob = serialize(value)
+            blobs.append(blob)
             failed = failed or isinstance(value, ErrorValue)
         return blobs, failed
+
+    def _pack_one(self, value: Any, object_id) -> Any:
+        """One return slot: a ShmDescriptor for large values when the
+        data plane accepts them, else serialized bytes."""
+        if self.shm_enabled and not isinstance(value, ErrorValue):
+            serialized = serialize_buffers(value)
+            if not should_inline(serialized.total_bytes, self.inline_threshold):
+                granted = self._ship_value(object_id, serialized)
+                if granted is not None:
+                    return granted
+            # Small (or shm refused): the plain pipe path — reusing the
+            # in-band stream unless buffers went out-of-band, in which
+            # case the value must be re-pickled joined.
+            return serialized.in_band_bytes() or serialize(value)
+        return serialize(value)
 
     def _resolve_call(self, payload: dict, pinned: list):
         """Materialize argument slots into values (inline, cache, or fetch).
@@ -342,19 +470,15 @@ class ProcWorker:
             nonlocal upstream
             if not isinstance(value, SlotRef):
                 return value
-            data = inline.get(value.object_id)
-            if data is None:
-                data = self.cache.get(value.object_id)
-                if data is None:
-                    data = self.rpc(msg.FETCH, value.object_id)
-                    try:
-                        self.cache.put(value.object_id, data)
-                    except ReproError:
-                        pass  # larger than the whole cache: run uncached
-                if self.cache.contains(value.object_id):
-                    self.cache.pin(value.object_id)
-                    pinned.append(value.object_id)
-            resolved = deserialize(data)
+            if value.shm is not None and self.shm_enabled:
+                # Zero-copy path: the descriptor came embedded in the
+                # SlotRef; materialize() reads the arena directly (with
+                # a byte FETCH fallback for unmappable segments).  No
+                # byte cache — attaching a cached segment costs nothing
+                # and the payload is never copied in the first place.
+                resolved = self.materialize(value.shm)
+            else:
+                resolved = self._resolve_piped(value.object_id, inline, pinned)
             if isinstance(resolved, ErrorValue) and upstream is None:
                 upstream = resolved
             return resolved
@@ -362,6 +486,22 @@ class ProcWorker:
         args = tuple(resolve(value) for value in args_template)
         kwargs = {key: resolve(value) for key, value in kwargs_template.items()}
         return args, kwargs, upstream
+
+    def _resolve_piped(self, object_id, inline: dict, pinned: list) -> Any:
+        """The byte path: inline table, local LRU cache, or FETCH."""
+        data = inline.get(object_id)
+        if data is None:
+            data = self.cache.get(object_id)
+            if data is None:
+                data = self.rpc(msg.FETCH, object_id)
+                try:
+                    self.cache.put(object_id, data)
+                except ReproError:
+                    pass  # larger than the whole cache: run uncached
+            if self.cache.contains(object_id):
+                self.cache.pin(object_id)
+                pinned.append(object_id)
+        return deserialize(data)
 
     def _execute_function(self, spec: TaskSpec, payload: dict, args, kwargs) -> Any:
         try:
@@ -410,6 +550,20 @@ class ProcWorker:
             return error_value_from(spec, exc)
 
 
-def worker_main(conn, index: int, seed: int, cache_capacity: int) -> None:
+def worker_main(
+    conn,
+    index: int,
+    seed: int,
+    cache_capacity: int,
+    shm_enabled: bool = False,
+    inline_threshold: Optional[int] = None,
+) -> None:
     """Entry point of a worker child process (importable for spawn)."""
-    ProcWorker(conn, index=index, seed=seed, cache_capacity=cache_capacity).run()
+    ProcWorker(
+        conn,
+        index=index,
+        seed=seed,
+        cache_capacity=cache_capacity,
+        shm_enabled=shm_enabled,
+        inline_threshold=inline_threshold,
+    ).run()

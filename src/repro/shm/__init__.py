@@ -1,0 +1,45 @@
+"""Plasma-style shared-memory object store: the zero-copy data plane.
+
+The paper's "missing pieces" for real-time ML include an in-memory object
+store that lets processes on one node exchange large numerical data in
+milliseconds through *shared memory* instead of copying bytes through
+RPC.  This package is that data plane:
+
+* :mod:`repro.shm.segment` — an arena allocator over
+  ``multiprocessing.shared_memory`` segments with a create/seal/release
+  object lifecycle and cross-process per-object refcounts kept in the
+  segment's header region (one single-writer cell per client, so no
+  cross-process write races and no locks on the read path);
+* :mod:`repro.shm.store` — :class:`~repro.shm.store.SharedObjectStore`,
+  the same contract as
+  :class:`~repro.objectstore.store.LocalObjectStore` (capacity bound,
+  LRU eviction, pinning, stats) but backed by sealed shm buffers with
+  zero-copy ``memoryview`` reads, plus the worker-side
+  :class:`~repro.shm.store.ShmClient` that attaches segments lazily;
+* :mod:`repro.shm.coordinator` — the driver-side object directory
+  (ObjectID → segment/slot/offset/size), the eviction/refcount reaper
+  that reclaims space and the refcount columns of crashed workers, and
+  guaranteed segment unlinking on shutdown.
+
+The ``proc`` backend routes every large object (above its inline
+threshold) through this store when shared memory is available —
+see ``repro.init("proc", shm_capacity=...)`` — and transparently falls
+back to the pipe path when it is not.
+"""
+
+from repro.shm.coordinator import ShmCoordinator
+from repro.shm.segment import (
+    SegmentError,
+    SharedSegment,
+    shm_available,
+)
+from repro.shm.store import SharedObjectStore, ShmClient
+
+__all__ = [
+    "SegmentError",
+    "SharedSegment",
+    "SharedObjectStore",
+    "ShmClient",
+    "ShmCoordinator",
+    "shm_available",
+]

@@ -22,7 +22,8 @@ Two serialization regimes coexist:
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+import struct
+from dataclasses import dataclass, field
 from typing import Any
 
 try:  # cloudpickle ships with many scientific stacks but is not stdlib.
@@ -113,13 +114,21 @@ class ByteAccountant:
     """Size accounting for one flow of serialized objects.
 
     The proc backend keeps one per flow (inlined args, fetched args,
-    shipped results) so ``stats()`` can report where bytes actually went
-    across the serialization boundary.
+    shipped results, the shm data plane) so ``stats()`` can report where
+    bytes actually went across the serialization boundary.  The three
+    shm counters split one flow's traffic by *path*:
+    ``zero_copy_bytes``/``shm_hits`` count objects served as shared-memory
+    descriptors (bytes that never crossed a pipe), ``pipe_fallbacks``
+    counts large objects that had to take the pipe even though shm was
+    on (allocation failure, an unattachable segment, shm-less host).
     """
 
     count: int = 0
     total_bytes: int = 0
     max_bytes: int = 0
+    zero_copy_bytes: int = 0
+    shm_hits: int = 0
+    pipe_fallbacks: int = 0
 
     def record(self, num_bytes: int) -> None:
         self.count += 1
@@ -127,9 +136,168 @@ class ByteAccountant:
         if num_bytes > self.max_bytes:
             self.max_bytes = num_bytes
 
+    def record_zero_copy(self, num_bytes: int) -> None:
+        """One object served by descriptor: counted in the flow's totals
+        and in the zero-copy split."""
+        self.record(num_bytes)
+        self.shm_hits += 1
+        self.zero_copy_bytes += num_bytes
+
+    def record_pipe_fallback(self, num_bytes: int) -> None:
+        """A large object that crossed the pipe despite shm being on."""
+        self.record(num_bytes)
+        self.pipe_fallbacks += 1
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
             "total_bytes": self.total_bytes,
             "max_bytes": self.max_bytes,
+            "zero_copy_bytes": self.zero_copy_bytes,
+            "shm_hits": self.shm_hits,
+            "pipe_fallbacks": self.pipe_fallbacks,
         }
+
+
+# ----------------------------------------------------------------------
+# Out-of-band (pickle protocol 5) serialization for the shm data plane
+# ----------------------------------------------------------------------
+
+#: Frame layout inside a shared-memory payload:
+#:   [magic u32][nbuf u32][inband_len u64][buf_len u64 × nbuf]
+#:   [inband ...][64-B pad][buffer 0][64-B pad][buffer 1]...
+#: Buffers start 64-byte aligned so reconstructed numpy arrays view
+#: cache-line-aligned memory.
+_FRAME_MAGIC = 0x5246314F  # "RF1O" — repro frame, out-of-band, v1
+_FRAME_HEAD = struct.Struct("<II")
+_U64 = struct.Struct("<Q")
+_FRAME_ALIGN = 64
+
+
+def _frame_align(n: int) -> int:
+    return (n + _FRAME_ALIGN - 1) // _FRAME_ALIGN * _FRAME_ALIGN
+
+
+@dataclass
+class SerializedBuffers:
+    """A value split into a small in-band pickle stream plus the raw
+    out-of-band buffers (protocol 5) it references.
+
+    The buffers are memoryviews of the *original* object's memory (e.g.
+    a numpy array's data) — nothing has been copied yet.  Writing the
+    frame into a shm arena is therefore the value's single copy; reading
+    it back reconstructs arrays that alias the arena directly.
+    """
+
+    inband: bytes
+    buffers: list = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes this value needs (excluding frame framing)."""
+        return len(self.inband) + sum(b.nbytes for b in self.buffers)
+
+    def in_band_bytes(self):
+        """The in-band stream *is* a complete ordinary pickle when
+        nothing went out-of-band — callers on the byte path reuse it
+        instead of pickling the value a second time.  ``None`` when
+        out-of-band buffers exist (the stream alone is not loadable)."""
+        return self.inband if not self.buffers else None
+
+    @property
+    def frame_bytes(self) -> int:
+        """Exact frame size :func:`write_frame` will produce."""
+        size = _FRAME_HEAD.size + _U64.size * (1 + len(self.buffers))
+        size += len(self.inband)
+        for buffer in self.buffers:
+            size = _frame_align(size) + buffer.nbytes
+        return size
+
+
+def serialize_buffers(value: Any) -> SerializedBuffers:
+    """Serialize ``value`` splitting buffer-protocol payloads out-of-band.
+
+    Objects that support pickle protocol 5's out-of-band path (numpy
+    arrays, ``PickleBuffer``-reducible types) contribute zero-copy
+    memoryviews; everything else lands in the in-band stream.
+    Non-contiguous buffers stay in-band rather than failing.
+
+    Raises :class:`TypeError` for unpicklable values, like
+    :func:`serialize`.
+    """
+    buffers: list = []
+
+    def keep_out_of_band(pickle_buffer: pickle.PickleBuffer) -> bool:
+        # Return-value contract of ``buffer_callback``: falsy ⇒ the
+        # buffer goes out-of-band, truthy ⇒ it stays in the stream.
+        try:
+            raw = pickle_buffer.raw()
+        except BufferError:      # non-contiguous: pickle it in-band
+            return True
+        buffers.append(raw)
+        return False
+
+    try:
+        inband = pickle.dumps(
+            value, protocol=_PROTOCOL, buffer_callback=keep_out_of_band
+        )
+    except Exception as exc:
+        raise TypeError(
+            f"value of type {type(value).__name__} is not serializable: {exc}"
+        ) from exc
+    return SerializedBuffers(inband=inband, buffers=buffers)
+
+
+def write_frame(view: memoryview, serialized: SerializedBuffers) -> None:
+    """Write a frame into ``view`` (must be ``serialized.frame_bytes``
+    long and writable) — the single copy of the value's payload."""
+    nbuf = len(serialized.buffers)
+    _FRAME_HEAD.pack_into(view, 0, _FRAME_MAGIC, nbuf)
+    cursor = _FRAME_HEAD.size
+    _U64.pack_into(view, cursor, len(serialized.inband))
+    cursor += _U64.size
+    for buffer in serialized.buffers:
+        _U64.pack_into(view, cursor, buffer.nbytes)
+        cursor += _U64.size
+    view[cursor : cursor + len(serialized.inband)] = serialized.inband
+    cursor += len(serialized.inband)
+    for buffer in serialized.buffers:
+        cursor = _frame_align(cursor)
+        view[cursor : cursor + buffer.nbytes] = buffer
+        cursor += buffer.nbytes
+
+
+def read_frame(view: memoryview) -> tuple[memoryview, list]:
+    """Split a frame back into ``(inband, buffers)`` — all zero-copy
+    windows into ``view``."""
+    magic, nbuf = _FRAME_HEAD.unpack_from(view, 0)
+    if magic != _FRAME_MAGIC:
+        raise ValueError("shared-memory payload has no frame header")
+    cursor = _FRAME_HEAD.size
+    (inband_len,) = _U64.unpack_from(view, cursor)
+    cursor += _U64.size
+    lengths = []
+    for _ in range(nbuf):
+        (length,) = _U64.unpack_from(view, cursor)
+        cursor += _U64.size
+        lengths.append(length)
+    inband = view[cursor : cursor + inband_len]
+    cursor += inband_len
+    buffers = []
+    for length in lengths:
+        cursor = _frame_align(cursor)
+        buffers.append(view[cursor : cursor + length])
+        cursor += length
+    return inband, buffers
+
+
+def deserialize_frame(view: memoryview) -> Any:
+    """Reconstruct a value from a frame, zero-copy.
+
+    Out-of-band buffers are handed to pickle as read-only windows into
+    the frame, so reconstructed numpy arrays *alias* the shared-memory
+    arena (and are read-only — copy before mutating).  In-band payloads
+    (plain ``bytes``, lists, dicts) are materialized normally.
+    """
+    inband, buffers = read_frame(view)
+    return pickle.loads(inband, buffers=buffers)

@@ -1,7 +1,9 @@
 """Unit tests for the per-node object store and transfer manager,
 including randomized model-based property tests of the LRU/pinning
 semantics every backend (sim nodes, proc driver store, proc worker
-caches) relies on."""
+caches) relies on.  The property suite runs the *same* interleavings
+against both implementations of the contract: the byte-backed
+``LocalObjectStore`` and the shared-memory ``SharedObjectStore``."""
 
 import random
 
@@ -10,7 +12,35 @@ import pytest
 import repro
 from repro.errors import ObjectLostError
 from repro.objectstore.store import LocalObjectStore, ObjectStoreFullError
+from repro.shm.segment import shm_available
+from repro.shm.store import SharedObjectStore
 from repro.utils.ids import IDGenerator
+
+#: Store implementations held to the identical executable model; shm is
+#: skipped (not failed) on hosts without POSIX shared memory.
+STORE_KINDS = ("local",) + (("shm",) if shm_available() else ())
+
+
+@pytest.fixture(params=STORE_KINDS)
+def store_factory(request):
+    """Build capacity-bound stores of the parametrized kind; shm stores
+    are shut down (segments unlinked) when the test ends."""
+    created = []
+
+    def make(node_id, capacity):
+        if request.param == "shm":
+            built = SharedObjectStore(
+                node_id, capacity=capacity, max_clients=2, max_objects=64
+            )
+        else:
+            built = LocalObjectStore(node_id, capacity=capacity)
+        created.append(built)
+        return built
+
+    yield make
+    for built in created:
+        if isinstance(built, SharedObjectStore):
+            built.shutdown()
 
 
 @pytest.fixture
@@ -191,7 +221,11 @@ class _StoreModel:
 
 
 class TestObjectStoreProperties:
-    """Randomized interleavings checked against the executable model."""
+    """Randomized interleavings checked against the executable model —
+    for *both* store implementations (``store_factory``): the shm store
+    must be byte-for-byte indistinguishable from the local store in
+    residency, LRU order, eviction counts, size accounting, and pins,
+    regardless of arena fragmentation."""
 
     CAPACITY = 1000
 
@@ -209,10 +243,10 @@ class TestObjectStoreProperties:
             assert store.is_pinned(oid) == (model.pins.get(oid, 0) > 0)
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_random_interleavings_match_model(self, seed):
+    def test_random_interleavings_match_model(self, seed, store_factory):
         rng = random.Random(seed)
         gen = IDGenerator(namespace=f"objstore-prop/{seed}")
-        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        store = store_factory(gen.node_id(), self.CAPACITY)
         model = _StoreModel(self.CAPACITY)
         pool = [gen.object_id() for _ in range(30)]
 
@@ -244,12 +278,12 @@ class TestObjectStoreProperties:
             self._assert_matches(store, model)
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_pinned_args_never_evicted_under_pressure(self, seed):
+    def test_pinned_args_never_evicted_under_pressure(self, seed, store_factory):
         """Pin/unpin interleavings never let eviction touch a pinned
         object — the invariant task argument safety rests on."""
         rng = random.Random(1000 + seed)
         gen = IDGenerator(namespace=f"objstore-pin/{seed}")
-        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        store = store_factory(gen.node_id(), self.CAPACITY)
         pinned = []
         for index in range(3):
             oid = gen.object_id()
@@ -272,12 +306,12 @@ class TestObjectStoreProperties:
             assert not store.is_pinned(oid)
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_eviction_order_is_lru(self, seed):
+    def test_eviction_order_is_lru(self, seed, store_factory):
         """After random touches, a capacity-busting put evicts exactly the
         least-recently-used unpinned prefix."""
         rng = random.Random(2000 + seed)
         gen = IDGenerator(namespace=f"objstore-lru/{seed}")
-        store = LocalObjectStore(gen.node_id(), capacity=self.CAPACITY)
+        store = store_factory(gen.node_id(), self.CAPACITY)
         size = 100
         resident = [gen.object_id() for _ in range(10)]  # exactly fills it
         for oid in resident:

@@ -1,5 +1,6 @@
 """Proc-backend specifics: true parallelism, the serialization boundary,
-capability flags, and init-option validation.
+the shared-memory data plane, capability flags, and init-option
+validation.
 
 Cross-backend semantics are covered by the parity matrix
 (``test_backend_parity.py``) and crash recovery by
@@ -8,13 +9,23 @@ multiprocess backend.
 """
 
 import os
+import time
 
 import pytest
 
 import repro
 from repro.core.backend import Backend, backend_capabilities, registered_backends
 from repro.errors import BackendError
+from repro.shm.segment import shm_available
 from repro.utils.serialization import DEFAULT_INLINE_THRESHOLD, should_inline
+
+#: Comfortably above the inline threshold: these payloads must take the
+#: data plane (shm descriptors), not the pipe.
+LARGE = DEFAULT_INLINE_THRESHOLD * 4
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="host has no POSIX shared memory"
+)
 
 
 @repro.remote
@@ -123,8 +134,9 @@ def test_small_arguments_ship_inline():
 
 def test_large_arguments_take_store_path_and_cache():
     """A >threshold argument is fetched once and then served from the
-    worker's LocalObjectStore cache for subsequent tasks."""
-    runtime = repro.init(backend="proc", num_workers=1)
+    worker's LocalObjectStore cache for subsequent tasks.  (Pipe-path
+    mechanics: shm off, else the data plane serves these zero-copy.)"""
+    runtime = repro.init(backend="proc", num_workers=1, shm_capacity=0)
     try:
         blob = b"x" * (DEFAULT_INLINE_THRESHOLD * 3)
         big = repro.put(blob)
@@ -139,7 +151,11 @@ def test_large_arguments_take_store_path_and_cache():
 
 
 def test_custom_inline_threshold():
-    runtime = repro.init(backend="proc", num_workers=1, inline_threshold=0)
+    # shm off: a zero threshold would otherwise route every object —
+    # however tiny — through the data plane instead of FETCH.
+    runtime = repro.init(
+        backend="proc", num_workers=1, inline_threshold=0, shm_capacity=0
+    )
     try:
         ref = repro.put(b"xy")
         assert repro.get(payload_len.remote(ref)) == 2
@@ -148,6 +164,208 @@ def test_custom_inline_threshold():
         assert stats["args_fetched"]["count"] == 1
     finally:
         repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The shared-memory data plane (zero-copy large objects)
+# ----------------------------------------------------------------------
+
+
+@repro.remote
+def echo_len_and_first(data):
+    return (len(data), bytes(data[:4]))
+
+
+@repro.remote
+def make_blob(n):
+    return b"R" * n
+
+
+@repro.remote
+def put_blob(n):
+    return repro.put(b"P" * n)
+
+
+@repro.remote
+def hold_shm_arg(data, marker_path):
+    """Touches a large (shm-resident) argument, signals, then sleeps —
+    the kill window in which this worker holds a refcount."""
+    open(marker_path, "w").close()
+    time.sleep(120.0)
+    return len(data)
+
+
+def _await_marker(path, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"marker {path} never appeared")
+        time.sleep(0.01)
+
+
+def _segments_on_disk(names):
+    """Attach-probe which segment names still exist (portable: /dev/shm
+    is a Linux detail; macOS POSIX shm has no filesystem view)."""
+    from repro.shm.segment import SharedSegment
+
+    alive = []
+    for name in names:
+        try:
+            probe = SharedSegment.attach(name)
+        except FileNotFoundError:
+            continue
+        probe.close()
+        alive.append(name)
+    return alive
+
+
+@needs_shm
+class TestShmDataPlane:
+    def test_shm_capability_flag(self):
+        assert backend_capabilities("proc").shared_memory
+        assert not backend_capabilities("sim").shared_memory
+        assert not backend_capabilities("local").shared_memory
+
+    def test_shm_large_put_and_arg_are_zero_copy(self):
+        """A large put and its consumption cross the pipe as descriptors:
+        shm_hits count them, and no large bytes are inlined or fetched."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        assert runtime.stats()["shm_enabled"]
+        big = repro.put(b"S" * LARGE)
+        assert repro.get(echo_len_and_first.remote(big), timeout=60.0) == (
+            LARGE, b"SSSS"
+        )
+        stats = runtime.stats()
+        assert stats["shm"]["shm_hits"] >= 2       # the put + the attach
+        assert stats["shm"]["zero_copy_bytes"] >= LARGE
+        assert stats["shm"]["pipe_fallbacks"] == 0
+        assert stats["args_fetched"]["count"] == 0  # nothing crossed as bytes
+
+    def test_shm_large_result_and_driver_get(self):
+        """A large result is written into shm by the worker and read
+        zero-copy by the driver; RESULT ships only a descriptor."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        blob = repro.get(make_blob.remote(LARGE), timeout=60.0)
+        assert len(blob) == LARGE and blob[:2] == b"RR"
+        stats = runtime.stats()
+        assert stats["shm"]["shm_hits"] >= 2       # worker write + driver read
+        # The pipe's result ledger saw only small control traffic.
+        assert stats["results_shipped"]["max_bytes"] < DEFAULT_INLINE_THRESHOLD
+
+    def test_shm_worker_side_put(self):
+        """repro.put of a large value *inside* a task takes the
+        SHM_CREATE/SHM_SEAL path; the driver then reads it zero-copy."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        inner = repro.get(put_blob.remote(LARGE), timeout=60.0)
+        assert repro.get(inner, timeout=60.0) == b"P" * LARGE
+        assert runtime.stats()["shm"]["pipe_fallbacks"] == 0
+
+    def test_shm_numpy_array_aliases_shared_memory(self):
+        numpy = pytest.importorskip("numpy")
+
+        @repro.remote
+        def make_array(n):
+            return numpy.arange(n, dtype=numpy.float64)
+
+        repro.init(backend="proc", num_workers=1)
+        array = repro.get(make_array.remote(100_000), timeout=60.0)
+        assert array[-1] == 99_999.0
+        assert array.base is not None              # a view over the arena
+        assert not array.flags.writeable           # sealed ⇒ read-only
+
+    def test_shm_broadcast_fetches_no_bytes(self):
+        """N consumers of one large object: every worker attaches the
+        same arena — zero per-consumer byte fetches."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        big = repro.put(b"B" * LARGE)
+        refs = [echo_len_and_first.remote(big) for _ in range(6)]
+        assert set(repro.get(refs, timeout=60.0)) == {(LARGE, b"BBBB")}
+        stats = runtime.stats()
+        assert stats["args_fetched"]["count"] == 0
+        assert stats["shm"]["shm_hits"] >= 7       # put + 6 attaches
+
+    def test_shm_disabled_parity_same_observables(self):
+        """The acceptance matrix: one workload, shm on vs off, identical
+        observable results (only the stats ledger may differ)."""
+        def workload():
+            big = repro.put(b"W" * LARGE)
+            first = echo_len_and_first.remote(big)
+            chained = make_blob.remote(8)
+            out = [
+                repro.get(first, timeout=60.0),
+                repro.get(chained, timeout=60.0),
+                repro.get(repro.get(put_blob.remote(100), timeout=60.0)),
+            ]
+            with pytest.raises(repro.TaskError, match="boom"):
+                repro.get(fail_with.remote("boom"), timeout=60.0)
+            return out
+
+        @repro.remote
+        def fail_with(message):
+            raise ValueError(message)
+
+        runtime = repro.init(backend="proc", num_workers=2)
+        with_shm = workload()
+        assert runtime.stats()["shm_enabled"]
+        repro.shutdown()
+        runtime = repro.init(backend="proc", num_workers=2, shm_capacity=0)
+        without_shm = workload()
+        assert not runtime.stats()["shm_enabled"]
+        assert with_shm == without_shm
+
+    def test_shm_budget_overflow_falls_back_to_pipe(self):
+        """A data plane smaller than the object: the put still succeeds
+        (pipe path) and the fallback is counted."""
+        runtime = repro.init(
+            backend="proc", num_workers=1, shm_capacity=LARGE // 2
+        )
+        big = repro.put(b"F" * LARGE)
+        assert repro.get(echo_len_and_first.remote(big), timeout=60.0) == (
+            LARGE, b"FFFF"
+        )
+        stats = runtime.stats()
+        assert stats["shm"]["pipe_fallbacks"] >= 1
+        assert stats["args_stored"]["count"] >= 1  # took the byte path
+
+    def test_shm_worker_crash_reclaims_refcounts(self, tmp_path):
+        """Regression (the reaper): a worker SIGKILLed while holding shm
+        refcounts must not strand the object — the driver zeroes the dead
+        pid's column, the object stays readable, and the pool heals."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        big = repro.put(b"C" * LARGE)
+        marker = str(tmp_path / "holding")
+        ref = hold_shm_arg.options(max_reconstructions=0).remote(big, marker)
+        _await_marker(marker)
+        object_id = big.object_id
+        assert runtime._shm.store.refcount(object_id) >= 1  # held mid-read
+        runtime.kill_worker(0)
+        with pytest.raises(repro.WorkerCrashedError):
+            repro.get(ref, timeout=60.0)
+        # The reaper reclaimed the dead worker's refcount column...
+        assert runtime._shm.store.refcount(object_id) == 0
+        # ...the object is still intact for the healed pool:
+        assert repro.get(echo_len_and_first.remote(big), timeout=60.0) == (
+            LARGE, b"CCCC"
+        )
+        assert runtime.stats()["workers_crashed"] == 1
+
+    def test_shm_shutdown_leaves_zero_segments(self):
+        """Acceptance: repro.shutdown() leaves no shared-memory segments
+        behind — including after a worker crash."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        repro.put(b"L" * LARGE)
+        repro.get(make_blob.remote(LARGE), timeout=60.0)
+        names = runtime._shm.segment_names()
+        assert _segments_on_disk(names) == list(names)
+        runtime.kill_worker(0)                     # crash does not leak
+        repro.get(my_pid.remote(), timeout=60.0)   # pool healed
+        repro.shutdown()
+        assert _segments_on_disk(names) == []
+
+    def test_shm_invalid_capacity_rejected(self):
+        with pytest.raises(BackendError, match="shm_capacity"):
+            repro.init(backend="proc", shm_capacity=-1)
+        assert not repro.is_initialized()
 
 
 # ----------------------------------------------------------------------
