@@ -41,7 +41,15 @@ def init(backend: str = "sim", **kwargs: Any):
         ``shm_capacity`` (byte budget of the zero-copy shared-memory
         data plane for large objects — default 256 MiB, ``0`` disables
         it and every object takes the pipe; hosts without POSIX shared
-        memory fall back automatically).
+        memory fall back automatically).  Both real backends accept the
+        scheduling-plane options (see :mod:`repro.sched_plane`):
+        ``dispatch_mode`` (``"bottom_up"`` — worker-local fast path,
+        locality-aware spillover placement, work stealing; the proc
+        default — or ``"driver"``, the fully driver-mediated ablation
+        baseline and the local default) plus ``placement_policy``,
+        ``spillover_policy``, and ``steal_policy`` objects from
+        :mod:`repro.scheduling.policies`; scheduler counters surface in
+        ``get_runtime().stats()["sched"]``.
     """
     global _current_runtime
     if _current_runtime is not None:

@@ -66,6 +66,14 @@ class BackendCapabilities:
         bytes.  Declares *support* — at runtime the backend still falls
         back to its byte path on hosts without POSIX shm or when
         initialized with ``shm_capacity=0``.
+    ``bottom_up_scheduling``
+        The backend implements the real two-level scheduling plane
+        (:mod:`repro.sched_plane`): ``init(dispatch_mode="bottom_up")``
+        gives workers local task queues with a zero-round-trip nested
+        submission fast path, locality-aware driver-tier spillover
+        placement, and idle-worker work stealing;
+        ``dispatch_mode="driver"`` keeps the fully driver-mediated
+        dispatch loop selectable for ablation.
     """
 
     true_parallelism: bool = False
@@ -73,6 +81,7 @@ class BackendCapabilities:
     fault_injection: bool = False
     multiprocess: bool = False
     shared_memory: bool = False
+    bottom_up_scheduling: bool = False
 
 
 @runtime_checkable
@@ -272,7 +281,9 @@ register_backend(
     _load_sim,
     BackendCapabilities(virtual_time=True, fault_injection=True),
 )
-register_backend("local", _load_local, BackendCapabilities())
+register_backend(
+    "local", _load_local, BackendCapabilities(bottom_up_scheduling=True)
+)
 register_backend(
     "proc",
     _load_proc,
@@ -281,5 +292,6 @@ register_backend(
         fault_injection=True,
         multiprocess=True,
         shared_memory=True,
+        bottom_up_scheduling=True,
     ),
 )

@@ -60,10 +60,17 @@ from repro.core.worker import (
     split_result_values,
 )
 from repro.errors import BackendError, GetTimeoutError
+from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
+from repro.sched_plane import SchedCounters, WorkerCandidate, plan_placement
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
 from repro.utils.serialization import deserialize, serialize
 
 _POISON = object()
+
+#: Valid values of the ``dispatch_mode`` init option (same contract as
+#: the proc backend; "driver" — the historical always-global placement —
+#: stays selectable for ablation).
+DISPATCH_MODES = ("bottom_up", "driver")
 
 
 @dataclass
@@ -118,8 +125,29 @@ class LocalRuntime:
         self,
         cluster: Optional[ClusterSpec] = None,
         seed: int = 0,
+        dispatch_mode: str = "driver",
+        placement_policy: Optional[PlacementPolicy] = None,
+        spillover_policy: Optional[SpilloverPolicy] = None,
+        steal_policy: Optional[StealPolicy] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
+        if dispatch_mode not in DISPATCH_MODES:
+            raise BackendError(
+                f"invalid init option dispatch_mode={dispatch_mode!r} for "
+                f"backend 'local'; valid values: {list(DISPATCH_MODES)}"
+            )
+        #: The scheduling plane (repro.sched_plane) over threads: in
+        #: bottom_up mode a worker thread's nested submissions stay on
+        #: its own node while the backlog allows (the fast path — here
+        #: "zero round-trips" means zero extra placement work under the
+        #: global view), spillover is placed through the shared
+        #: PlacementPolicy, and threads that would go idle steal from
+        #: the tails of other nodes' pending queues.
+        self.dispatch_mode = dispatch_mode
+        self._placement_policy = placement_policy or PlacementPolicy()
+        self._spillover_policy = spillover_policy or SpilloverPolicy()
+        self._steal_policy = steal_policy or StealPolicy()
+        self._sched = SchedCounters()
         self.ids = IDGenerator(namespace=f"repro-local/{seed}")
         self.closed = False
 
@@ -372,6 +400,8 @@ class LocalRuntime:
                 "tasks_waiting": len(self._deps),
                 "actors_created": len(self.actors),
                 "tasks_cancelled": self._lifecycle.cancelled_count,
+                "dispatch_mode": self.dispatch_mode,
+                "sched": self._sched.snapshot(),
             }
 
     def shutdown(self) -> None:
@@ -399,9 +429,51 @@ class LocalRuntime:
 
     def _enqueue_runnable(self, spec: TaskSpec) -> None:
         """Place a dependency-free task on a node (lock held)."""
-        node = self._choose_node(spec)
+        if self.dispatch_mode == "bottom_up":
+            node = self._place_bottom_up(spec)
+        else:
+            node = self._choose_node(spec)
         node.pending.append(spec)
         self._dispatch(node)
+
+    def _place_bottom_up(self, spec: TaskSpec) -> "_Node":
+        """Two-level placement (lock held): keep locally-generated work
+        on the generating node while its backlog allows (the fast path),
+        spill the rest to the driver tier's shared PlacementPolicy."""
+        here = getattr(self._tls, "node", None)
+        if (
+            here is not None
+            and spec.actor_id is None
+            and not self._spillover_policy.should_spill(
+                spec,
+                node_cpus=here.num_cpus,
+                node_gpus=here.num_gpus,
+                backlog=len(here.pending),
+                this_node=here.node_id,
+            )
+        ):
+            self._sched.tasks_placed_local += 1
+            return here
+        if here is not None and spec.actor_id is None:
+            self._sched.tasks_spilled += 1
+        candidates = [
+            WorkerCandidate(
+                node_id=node.node_id,
+                est_cpus=node.available_cpus,
+                est_gpus=node.available_gpus,
+                queue_length=len(node.pending),
+            )
+            for node in self._nodes.values()
+            if spec.resources.fits_node(node.num_cpus, node.num_gpus)
+        ]
+        chosen = plan_placement(
+            spec, candidates, self._placement_policy, self._sched
+        )
+        if chosen is not None:
+            return self._nodes[chosen]
+        # Every feasible node is saturated: queue at the least loaded
+        # (the driver-mode choice), to be drained — or stolen — later.
+        return self._choose_node(spec)
 
     def _choose_node(self, spec: TaskSpec) -> _Node:
         if spec.placement_hint is not None and spec.placement_hint in self._nodes:
@@ -465,6 +537,52 @@ class LocalRuntime:
                 node.available_gpus += item.resources.num_gpus
                 node.tasks_executed += 1
                 self._dispatch(node)
+                if self.dispatch_mode == "bottom_up":
+                    self._steal_into(node)
+
+    def _steal_into(self, thief: _Node) -> None:
+        """Work stealing (lock held): a thread that just freed slots and
+        found its own node empty raids the tail of the most-backlogged
+        other node.  Placement-hinted specs (actor pinning, explicit
+        hints) are never stolen.
+
+        Completion-triggered only: threads parked in ``task_queue.get``
+        never wake to steal, so a node that has run nothing yet cannot
+        raid (unlike the proc plane's idle-loop polling).  The exposure
+        is bounded, not a liveness hole — the fast path keeps at most
+        ``queue_threshold x cpus`` tasks on the birth node before
+        spilling to global placement, which targets idle nodes."""
+        if not self._steal_policy.enabled or thief.pending:
+            return
+        if not thief.task_queue.empty():
+            return
+        victim = None
+        for node in self._nodes.values():
+            if node is thief:
+                continue
+            if not self._steal_policy.should_steal(len(node.pending)):
+                continue
+            if victim is None or len(node.pending) > len(victim.pending):
+                victim = node
+        if victim is None:
+            return
+        budget = self._steal_policy.batch_size(len(victim.pending))
+        stolen = []
+        for index in range(len(victim.pending) - 1, -1, -1):
+            if len(stolen) >= budget:
+                break
+            spec = victim.pending[index]
+            if spec.placement_hint is not None:
+                continue
+            if not spec.resources.fits_node(thief.num_cpus, thief.num_gpus):
+                continue
+            stolen.append(victim.pending.pop(index))
+        if not stolen:
+            return
+        stolen.reverse()  # preserve submission order at the new home
+        self._sched.tasks_stolen += len(stolen)
+        thief.pending.extend(stolen)
+        self._dispatch(thief)
 
     def _run_task(self, node: _Node, spec: TaskSpec) -> None:
         with self._lock:

@@ -1,13 +1,30 @@
 """Wire protocol between the proc driver and its worker processes.
 
-Each worker owns one duplex pipe.  Traffic is strictly alternating from
-the worker's point of view: the driver sends a task; while executing it
-the worker may issue any number of *requests* (fetch an argument, submit
-a nested task, block in ``get``/``wait``, ``put`` a value, create or call
-an actor), each answered by exactly one reply from the driver's per-worker
-service thread; the exchange ends with the worker's ``RESULT`` message.
-Because the worker is single-threaded, requests never interleave — the
-protocol needs no sequence numbers.
+Each worker owns one duplex pipe.  In ``dispatch_mode="driver"`` traffic
+is strictly alternating from the worker's point of view: the driver
+sends a task; while executing it the worker may issue any number of
+*requests* (fetch an argument, submit a nested task, block in ``get``/
+``wait``, ``put`` a value, create or call an actor), each answered by
+exactly one reply from the driver's per-worker service thread; the
+exchange ends with the worker's ``RESULT`` message.  Because the worker
+is single-threaded, requests never interleave — the protocol needs no
+sequence numbers.
+
+``dispatch_mode="bottom_up"`` (the two-level scheduling plane,
+:mod:`repro.sched_plane`) adds **one-way messages** in both directions
+on top of the same request/reply core.  The worker runs *sessions*: one
+driver ``TASK`` starts a session, during which the worker may execute
+any number of tasks from its own local queue, reporting each with a
+one-way ``DONE`` and announcing new locally-born work with one-way
+``SUBMIT_LOCAL`` notices; ``IDLE`` ends the session.  The driver's
+one-way messages (``STEAL_REQUEST``, ``CANCEL_NOTICE``, ``PLACED``) may
+arrive at the worker interleaved with request replies; the worker
+processes them at every pipe touch-point — before dispatching each
+local task, inside its reply-wait loop, and while idle.  Pipe FIFO
+ordering is the protocol's only synchronization: a ``SUBMIT_LOCAL``
+always precedes any ``DONE`` or ``STEAL_GRANT`` that mentions its task,
+so the driver's mirror of each worker queue is maintained in causal
+order.
 
 Messages are tuples ``(tag, *payload)``.  Everything crossing the pipe is
 picklable by construction: user *code* is pre-serialized with
@@ -66,6 +83,41 @@ SHM_SEAL = "shm_seal"      # (SHM_SEAL, object_id) -> (OK, ObjectRef):
 SHM_ABORT = "shm_abort"    # (SHM_ABORT, object_id) -> (OK, None): return
                            # a granted-but-unwritable allocation to the
                            # arena (the worker is falling back to bytes)
+
+# -- the bottom-up scheduling plane (dispatch_mode="bottom_up") ---------
+# One-way messages; no tag below ever gets a reply.
+
+# worker -> driver:
+SUBMIT_LOCAL = "submit_local"  # (SUBMIT_LOCAL, [notice, ...]): nested
+                               # tasks were enqueued on the worker's own
+                               # local queue with zero round-trips.  The
+                               # worker batches notices and flushes the
+                               # batch before any other outbound message,
+                               # so the driver registers lineage/mirror
+                               # state causally first; it acks the batch
+                               # with one PLACED
+DONE = "done"          # (DONE, task_id, [blob, ...], failed): one task
+                       # finished (bottom-up RESULT: sessions run many
+                       # tasks, so the id rides along)
+IDLE = "idle"          # (IDLE,): local queue drained; session over — the
+                       # worker now blocks awaiting the next TASK
+STEAL_GRANT = "steal_grant"  # (STEAL_GRANT, [task_id, ...]): the worker
+                             # (sole owner of its queue) gives away the
+                             # tail of its local queue; the driver
+                             # re-homes the tasks from its mirror.  May
+                             # be empty (nothing left to give).
+
+# driver -> worker:
+STEAL_REQUEST = "steal_request"  # (STEAL_REQUEST, max_count): an idle
+                                 # worker wants work; answer with a
+                                 # STEAL_GRANT of up to max_count tasks
+CANCEL_NOTICE = "cancel_notice"  # (CANCEL_NOTICE, task_id): the task was
+                                 # cancelled; drop it from the local
+                                 # queue — it must never execute
+PLACED = "placed"      # (PLACED, [task_id, ...]): the placement ack —
+                       # the driver has registered a SUBMIT_LOCAL batch
+                       # for lineage (crash replay covers those tasks
+                       # from here on)
 
 # -- driver -> worker (replies) -----------------------------------------
 OK = "ok"    # (OK, value)

@@ -38,11 +38,29 @@ Architecture (one instance = one pool):
   the sim backend's node-death semantics; a replacement worker is spawned
   either way.  ``worker_crash_policy="fail"`` turns replay off and
   surfaces :class:`~repro.errors.WorkerCrashedError` instead.
+* **Two dispatch modes** (``dispatch_mode`` init option).  ``"driver"``
+  is the fully centralized loop described above: every submission —
+  including nested ``.remote()`` calls born on workers — funnels through
+  the driver.  ``"bottom_up"`` (default) is the paper's hybrid two-level
+  scheduler realized on real processes (:mod:`repro.sched_plane`): each
+  worker owns a local task queue it feeds with a zero-round-trip nested
+  submission fast path (the driver learns via one-way ``SUBMIT_LOCAL``
+  notices and mirrors every queue for lineage), while the driver is the
+  *global tier* — it places driver-born and spilled work with a
+  locality-aware :class:`~repro.scheduling.policies.PlacementPolicy`
+  (preferring the worker that already holds the largest resident
+  argument bytes), brokers idle-worker work stealing
+  (:class:`~repro.scheduling.policies.StealPolicy`; the victim's grant
+  is authoritative, so a stolen task provably runs exactly once), and
+  re-homes queued or mid-steal tasks when their worker crashes.  Both
+  modes keep every observable — parity workloads, cancellation,
+  ``num_returns``, named actors, fault tolerance — identical.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import select
 import threading
 import time
 from collections import deque
@@ -93,6 +111,14 @@ from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
 from repro.proc.worker import worker_main
+from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
+from repro.sched_plane import (
+    LocalTaskQueue,
+    ResidencyTracker,
+    SchedCounters,
+    WorkerCandidate,
+    plan_placement,
+)
 from repro.shm.coordinator import ShmCoordinator
 from repro.shm.segment import shm_available, usable_shm_budget
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
@@ -111,6 +137,15 @@ from repro.utils.serialization import (
 #: Valid values of the ``worker_crash_policy`` init option.
 CRASH_POLICIES = ("replace", "fail")
 
+#: Valid values of the ``dispatch_mode`` init option.
+DISPATCH_MODES = ("bottom_up", "driver")
+
+#: How long an idle service thread sleeps between steal-opportunity
+#: re-checks, and how often a driver thread serving a blocked worker
+#: polls that worker's pipe for steal grants.  Wire steals have no
+#: condition-variable edge to wake on, so these bound steal latency.
+_STEAL_POLL_INTERVAL = 0.02
+
 #: Default byte budget of the shared-memory data plane (``shm_capacity``
 #: init option; 0 disables it).  Backed by lazily-committed pages: the
 #: budget reserves address space, not resident memory.
@@ -125,6 +160,19 @@ _PIPE_SAFE_ERRORS = (
     TypeError,
     ValueError,
 )
+
+
+def _pipe_writable(conn: Any) -> bool:
+    """Whether a small send on ``conn`` can complete without blocking.
+
+    POSIX marks a pipe write-ready only when at least PIPE_BUF (>= 512,
+    4096 on Linux) bytes are free, so a ready pipe takes our <100-byte
+    control messages atomically."""
+    try:
+        _, writable, _ = select.select([], [conn], [], 0)
+    except (OSError, ValueError):
+        return False  # closing/closed: the crash path owns delivery now
+    return bool(writable)
 
 
 def _pipe_safe_error(tag: str, exc: BaseException) -> Exception:
@@ -155,6 +203,26 @@ class _WorkerHandle:
     #: Stack of specs executing in the child: the task it was handed plus
     #: any pinned actor tasks running reentrantly while it blocks.
     inflight: list = field(default_factory=list)
+    #: Bottom-up mode: stateless tasks the driver tier placed here
+    #: (locality-aware), shipped when the worker next idles.
+    placed: deque = field(default_factory=deque)
+    #: Bottom-up mode: the driver's mirror of the worker's own local
+    #: queue, built from SUBMIT_LOCAL notices in pipe order — the state
+    #: that makes stolen and crashed local tasks recoverable.
+    mirror: LocalTaskQueue = field(default_factory=LocalTaskQueue)
+    #: Serializes driver->worker sends: replies from the service thread
+    #: interleave with steal requests and cancel notices sent by *other*
+    #: threads on the same pipe.
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: One-way control messages parked when the pipe was congested;
+    #: flushed (in order, ahead of the next message) by the service
+    #: thread's next lock-free send.
+    outbox: deque = field(default_factory=deque)
+    #: Bottom-up session state: True between shipping a TASK and the
+    #: worker's IDLE.  Only busy workers are steal victims.
+    busy: bool = False
+    #: An un-answered STEAL_REQUEST is outstanding for this victim.
+    steal_outstanding: bool = False
     alive: bool = True
     tasks_done: int = 0
     actors_bound: int = 0
@@ -172,8 +240,17 @@ class ProcRuntime:
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
         worker_cache_bytes: int = 64 * 1024**2,
         shm_capacity: int = DEFAULT_SHM_CAPACITY,
+        dispatch_mode: str = "bottom_up",
+        placement_policy: Optional[PlacementPolicy] = None,
+        spillover_policy: Optional[SpilloverPolicy] = None,
+        steal_policy: Optional[StealPolicy] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
+        if dispatch_mode not in DISPATCH_MODES:
+            raise BackendError(
+                f"invalid init option dispatch_mode={dispatch_mode!r} for "
+                f"backend 'proc'; valid values: {list(DISPATCH_MODES)}"
+            )
         if num_workers is None:
             num_workers = self.cluster.total_cpus
         if not isinstance(num_workers, int) or num_workers < 1:
@@ -204,6 +281,20 @@ class ProcRuntime:
         self._crash_policy = worker_crash_policy
         self._inline_threshold = inline_threshold
         self._worker_cache_bytes = worker_cache_bytes
+        #: The scheduling plane (see repro.sched_plane): dispatch mode,
+        #: the driver tier's placement/steal policies, the worker tier's
+        #: spillover policy (shipped to every worker at spawn), residency
+        #: for locality scoring, and the stats()["sched"] counters.
+        self.dispatch_mode = dispatch_mode
+        self._placement_policy = placement_policy or PlacementPolicy()
+        self._spillover_policy = spillover_policy
+        self._steal_policy = steal_policy or StealPolicy()
+        self._residency = ResidencyTracker()
+        self._sched = SchedCounters()
+        #: Worker-born task payloads by task id (from SUBMIT_LOCAL
+        #: notices): what a thief executes and what crash replay reships.
+        self._payloads: dict[Any, dict] = {}
+        self._spawn_count = 0
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -322,6 +413,11 @@ class ProcRuntime:
 
     def _enqueue(self, spec: TaskSpec) -> None:
         """Route a runnable spec to its queue (lock held)."""
+        if self._lifecycle.is_cancelled(spec.task_id):
+            # Dispatch-time drop: the marker already owns its slots (and
+            # a worker-born payload mirrored for this task is dead too).
+            self._payloads.pop(spec.task_id, None)
+            return
         if spec.actor_id is not None:
             record = self.actors.get(spec.actor_id)
             home = self._by_node.get(record.node_id) if record is not None else None
@@ -330,7 +426,47 @@ class ProcRuntime:
                 return
             # Dead/unknown actor: any service thread may resolve it to an
             # error through the pre-dispatch check.
+        elif self.dispatch_mode == "bottom_up":
+            self._place_bottom_up(spec)
+            return
         self._queue.append(spec)
+
+    def _place_bottom_up(self, spec: TaskSpec) -> None:
+        """The driver tier's placement decision (lock held): score every
+        live worker through the shared :class:`PlacementPolicy` — idle
+        workers have estimated capacity, and residency supplies the
+        locality bytes — or fall back to the global spillover queue,
+        drained by whichever worker idles first."""
+        candidates = []
+        dependencies = None
+        for worker in self._workers:
+            if worker is None or not worker.alive:
+                continue
+            if dependencies is None:
+                dependencies = spec.dependencies()
+            candidates.append(
+                WorkerCandidate(
+                    node_id=worker.node_id,
+                    est_cpus=0 if (worker.busy or worker.inflight) else 1,
+                    est_gpus=0,
+                    queue_length=(
+                        len(worker.placed) + len(worker.mirror) + len(worker.pinned)
+                    ),
+                    locality_bytes=self._residency.locality_bytes(
+                        worker.index,
+                        dependencies,
+                        self._placement_policy.max_locality_lookups,
+                    ),
+                )
+            )
+        chosen = plan_placement(
+            spec, candidates, self._placement_policy, self._sched
+        )
+        home = self._by_node.get(chosen) if chosen is not None else None
+        if home is None or not home.alive:
+            self._queue.append(spec)
+            return
+        home.placed.append(spec)
 
     # ------------------------------------------------------------------
     # Actor protocol
@@ -519,6 +655,30 @@ class ProcRuntime:
         for object_id in spec.all_return_ids():
             if not self._has_object(object_id):
                 self._store_bytes(object_id, data)
+        if self.dispatch_mode == "bottom_up":
+            self._drop_cancelled_from_plane(spec)
+
+    def _drop_cancelled_from_plane(self, spec: TaskSpec) -> None:
+        """Evict a cancelled task from wherever the scheduling plane
+        queued it (lock held).  Driver-side queues (global, placed) are
+        covered by dispatch-time ``is_cancelled`` checks; a task sitting
+        in a *worker's* local queue additionally gets a CANCEL_NOTICE so
+        the owner drops it before dispatch — the worker-side half of the
+        never-executes guarantee.  A cancel initiated by the owner
+        worker itself is fully race-free: the notice is queued on its
+        pipe before the CANCEL rpc's reply, so the tombstone is local by
+        the time ``cancel()`` returns in the task body."""
+        for worker in self._workers:
+            if worker is None or not worker.alive:
+                continue
+            if spec.task_id in worker.mirror:
+                worker.mirror.remove(spec.task_id)
+                self._payloads.pop(spec.task_id, None)
+                try:
+                    self._send_control(worker, (msg.CANCEL_NOTICE, spec.task_id))
+                except OSError:
+                    pass  # dying worker: the crash handler owns cleanup
+                break
 
     def _parked_dependents(self, object_id: ObjectID) -> list:
         return lifecycle.parked_dependents(self._deps, object_id)
@@ -550,6 +710,8 @@ class ProcRuntime:
                 "shm_enabled": self._shm is not None,
                 "shm": self._acct_shm.snapshot(),
                 "shm_store": None if self._shm is None else self._shm.stats(),
+                "dispatch_mode": self.dispatch_mode,
+                "sched": self._sched.snapshot(),
             }
 
     # ------------------------------------------------------------------
@@ -595,7 +757,7 @@ class ProcRuntime:
         with self._cond:
             self.closed = True
             workers = [w for w in self._workers if w is not None]
-            busy = [w for w in workers if w.alive and w.inflight]
+            busy = [w for w in workers if w.alive and (w.inflight or w.busy)]
             self._cond.notify_all()
         # Busy children may be deep in user code (even sleeping forever):
         # kill them; idle ones get a graceful shutdown from their service
@@ -631,11 +793,16 @@ class ProcRuntime:
         worker = _WorkerHandle(
             index=index, node_id=self.ids.node_id(), conn=parent_conn
         )
+        # The spawn token salts the worker's local id namespace so a
+        # replacement worker in the same slot never re-issues ids its
+        # dead predecessor already handed out.
+        self._spawn_count += 1
         process = self._mp.Process(
             target=worker_main,
             args=(
                 child_conn, index, self.seed, self._worker_cache_bytes,
                 self._shm is not None, self._inline_threshold,
+                self.dispatch_mode, self._spawn_count, self._spillover_policy,
             ),
             name=f"repro-proc-worker-{index}",
             daemon=True,
@@ -645,8 +812,13 @@ class ProcRuntime:
         worker.process = process
         self._workers[index] = worker
         self._by_node[worker.node_id] = worker
+        loop = (
+            self._service_loop_bottom_up
+            if self.dispatch_mode == "bottom_up"
+            else self._service_loop
+        )
         thread = threading.Thread(
-            target=self._service_loop,
+            target=loop,
             args=(worker,),
             name=f"repro-proc-service-{index}",
             daemon=True,
@@ -655,13 +827,51 @@ class ProcRuntime:
         thread.start()
         return worker
 
+    def _send(self, worker: _WorkerHandle, message: tuple) -> None:
+        """One driver->worker send, serialized per pipe: the service
+        thread's replies interleave with steal requests and cancel
+        notices originated by other threads.  Parked control messages
+        go first, so a deferred CANCEL_NOTICE still precedes the reply
+        of the rpc whose handler queued it."""
+        with worker.send_lock:
+            while worker.outbox:
+                worker.conn.send(worker.outbox.popleft())
+            worker.conn.send(message)
+
+    def _send_control(self, worker: _WorkerHandle, message: tuple) -> None:
+        """A one-way control send that NEVER blocks — safe under the
+        runtime lock.  ``Connection.send`` blocks when the OS pipe
+        buffer is full (a busy worker drains control only at dispatch
+        boundaries), and blocking here would freeze the whole runtime;
+        a congested message parks in the outbox instead, delivered by
+        the worker's own service thread (:meth:`_flush_outbox`, called
+        lock-free at every serving point) or ahead of its next reply."""
+        with worker.send_lock:
+            if not worker.outbox and _pipe_writable(worker.conn):
+                worker.conn.send(message)
+                return
+            worker.outbox.append(message)
+
+    def _flush_outbox(self, worker: _WorkerHandle) -> None:
+        """Deliver parked control messages (service thread only, runtime
+        lock NOT held).  Blocking is acceptable here: only this worker's
+        session stalls, and the thread was about to block on this very
+        pipe anyway.  Outbox messages only exist for busy workers, whose
+        service thread passes through here every serving iteration — so
+        nothing can stay parked indefinitely."""
+        if not worker.outbox:
+            return
+        with worker.send_lock:
+            while worker.outbox:
+                worker.conn.send(worker.outbox.popleft())
+
     def _service_loop(self, worker: _WorkerHandle) -> None:
         """Feed one worker process and serve its requests until shutdown."""
         while True:
             spec = self._next_task(worker)
             if spec is None:
                 try:
-                    worker.conn.send((msg.SHUTDOWN,))
+                    self._send(worker, (msg.SHUTDOWN,))
                 except OSError:
                     pass
                 return
@@ -738,6 +948,268 @@ class ProcRuntime:
         return None
 
     # ------------------------------------------------------------------
+    # Bottom-up mode: sessions, the mirror, and the steal broker
+    # ------------------------------------------------------------------
+
+    def _service_loop_bottom_up(self, worker: _WorkerHandle) -> None:
+        """The driver tier's per-worker loop in bottom-up mode: hand the
+        idle worker one task to open a *session*, then serve everything
+        the session produces (rpc requests, SUBMIT_LOCAL notices, DONE
+        reports, steal grants) until the worker reports IDLE."""
+        while True:
+            spec = self._next_task_bottom_up(worker)
+            if spec is None:
+                try:
+                    self._send(worker, (msg.SHUTDOWN,))
+                except OSError:
+                    pass
+                return
+            try:
+                self._run_session(worker, spec)
+            except (EOFError, OSError) as exc:
+                # No extra spec here: unlike driver mode, the session
+                # opener may already be DONE (popped from inflight) with
+                # the worker deep in its local queue — the inflight
+                # stack plus the mirror are exactly what died.
+                self._handle_worker_crash(worker, None, exc)
+                return  # a replacement thread owns the slot now
+
+    def _next_task_bottom_up(self, worker: _WorkerHandle) -> Optional[TaskSpec]:
+        """Block until this worker has work (or shutdown): its pinned
+        actors first, then its placed queue, then the global spillover
+        queue — and, failing all three, *steal*: raid another worker's
+        placed queue directly, or ask a busy worker to give up the tail
+        of its local queue (answered asynchronously by a STEAL_GRANT)."""
+        with self._cond:
+            while True:
+                if self.closed or not worker.alive:
+                    return None
+                spec = None
+                if worker.pinned:
+                    spec = worker.pinned.popleft()
+                elif worker.placed:
+                    spec = worker.placed.popleft()
+                elif self._queue:
+                    spec = self._queue.popleft()
+                else:
+                    spec = self._steal_placed(worker)
+                if spec is None:
+                    self._request_remote_steal(worker)
+                    # Grants/submits/arrivals all notify the cond; the
+                    # timeout is a backstop, not the steal clock.
+                    self._cond.wait(timeout=10 * _STEAL_POLL_INTERVAL)
+                    continue
+                if self._lifecycle.is_cancelled(spec.task_id):
+                    self._payloads.pop(spec.task_id, None)
+                    continue  # cancelled while queued: never ship it
+                if spec.actor_id is not None:
+                    spec = self._claim_actor_spec(worker, spec)
+                    if spec is None:
+                        continue
+                worker.inflight.append(spec)
+                worker.busy = True
+                return spec
+
+    def _steal_placed(self, thief: _WorkerHandle) -> Optional[TaskSpec]:
+        """Driver-side steal: move one task from the longest placed
+        queue of another live worker (lock held).  No wire protocol —
+        placed queues live on the driver, so the raid is a deque pop."""
+        if not self._steal_policy.enabled:
+            return None
+        victim = None
+        for worker in self._workers:
+            if worker is None or worker is thief or not worker.alive:
+                continue
+            if not worker.placed:
+                continue
+            if victim is None or len(worker.placed) > len(victim.placed):
+                victim = worker
+        if victim is None:
+            return None
+        self._sched.tasks_stolen += 1
+        return victim.placed.popleft()
+
+    def _request_remote_steal(
+        self, thief: _WorkerHandle, include_self: bool = False
+    ) -> None:
+        """Ask the most-backlogged busy worker for the tail of its local
+        queue (lock held).  At most one request per victim is in flight;
+        the grant comes back on the victim's pipe and is applied by the
+        victim's own service thread.
+
+        ``include_self`` lets a *blocked* worker raid its own queue: the
+        child answers the request from its reply-wait loop, the grant
+        re-homes the tasks through the global queue, and the service
+        thread can then inject them back reentrantly — which is how a
+        worker blocked on its own locally-born tasks unwedges itself."""
+        if not self._steal_policy.enabled:
+            return
+        victim = None
+        for worker in self._workers:
+            if worker is None or not worker.alive:
+                continue
+            if worker is thief and not include_self:
+                continue
+            if not worker.busy or worker.steal_outstanding:
+                continue
+            if not self._steal_policy.should_steal(len(worker.mirror)):
+                continue
+            if victim is None or len(worker.mirror) > len(victim.mirror):
+                victim = worker
+        if victim is None:
+            return
+        victim.steal_outstanding = True
+        try:
+            self._send_control(
+                victim,
+                (
+                    msg.STEAL_REQUEST,
+                    self._steal_policy.batch_size(len(victim.mirror)),
+                ),
+            )
+        except OSError:
+            pass  # victim died; its crash handler owns the cleanup
+
+    def _handle_async_report(self, worker: _WorkerHandle, message: tuple) -> bool:
+        """One arm for the one-way worker reports every bottom-up
+        serving loop shares; False if the message was something else
+        (an rpc request, or IDLE — the callers' loop-exit conditions)."""
+        tag = message[0]
+        if tag == msg.DONE:
+            self._finish_done(worker, message[1], message[2], message[3])
+        elif tag == msg.SUBMIT_LOCAL:
+            self._register_local_submit(worker, message[1])
+        elif tag == msg.STEAL_GRANT:
+            self._apply_steal_grant(worker, message[1])
+        else:
+            return False
+        return True
+
+    def _fail_payload(
+        self, worker: _WorkerHandle, spec: TaskSpec, exc: BaseException
+    ) -> None:
+        """A task whose payload could not be built (lost argument,
+        unpicklable code) resolves to an error value in every slot."""
+        with self._cond:
+            worker.inflight.remove(spec)
+            data = serialize(error_value_from(spec, exc))
+            for object_id in spec.all_return_ids():
+                self._store_bytes(object_id, data)
+
+    def _run_session(self, worker: _WorkerHandle, spec: TaskSpec) -> None:
+        """Ship one task and serve the whole session it opens."""
+        try:
+            payload = self._build_payload(spec, worker)
+        except (TypeError, ReproError) as exc:
+            self._fail_payload(worker, spec, exc)
+            with self._cond:
+                worker.busy = False
+            return
+        self._send(worker, (msg.TASK, payload))
+        while True:
+            self._flush_outbox(worker)
+            message = worker.conn.recv()
+            if self._handle_async_report(worker, message):
+                continue
+            if message[0] == msg.IDLE:
+                with self._cond:
+                    worker.busy = False
+                    self._cond.notify_all()
+                return
+            self._serve_rpc(worker, message)
+
+    def _register_local_submit(self, worker: _WorkerHandle, notices: list) -> None:
+        """A worker kept nested tasks on its own queue (the fast path);
+        register lineage/lifecycle state from the one-way notice batch,
+        mirror the queue entries, and ack the batch with one PLACED.
+        Pipe FIFO guarantees this runs before any DONE or STEAL_GRANT
+        mentioning any of the tasks."""
+        placed_ids = []
+        with self._cond:
+            for notice in notices:
+                payload = notice["payload"]
+                spec = TaskSpec(
+                    task_id=payload["task_id"],
+                    function_id=payload["function_id"],
+                    function_name=notice["function_name"],
+                    return_object_id=payload["return_object_id"],
+                    return_object_ids=tuple(payload["return_object_ids"]),
+                    num_returns=payload["num_returns"],
+                    resources=notice["resources"],
+                    submitted_from=notice["submitted_from"],
+                    max_reconstructions=notice["max_reconstructions"],
+                )
+                self._lifecycle.register(spec)
+                worker.mirror.push(spec.task_id, spec)
+                self._payloads[spec.task_id] = payload
+                self._sched.tasks_placed_local += 1
+                placed_ids.append(spec.task_id)
+            self._cond.notify_all()  # idle thieves may now see a victim
+        self._send(worker, (msg.PLACED, placed_ids))
+
+    def _apply_steal_grant(self, victim: _WorkerHandle, task_ids: list) -> None:
+        """The victim gave up the tail of its local queue: re-home those
+        tasks through the global queue.  The victim is the queue's only
+        executor, so everything granted is provably not running there;
+        ids missing from the mirror were cancelled in the meantime and
+        stay dropped."""
+        with self._cond:
+            victim.steal_outstanding = False
+            for task_id in task_ids:
+                spec = victim.mirror.remove(task_id)
+                if spec is None or self._lifecycle.is_cancelled(task_id):
+                    self._payloads.pop(task_id, None)
+                    continue
+                self._sched.tasks_stolen += 1
+                self._queue.append(spec)
+            self._cond.notify_all()
+
+    def _finish_done(
+        self, worker: _WorkerHandle, task_id: Any, blobs: list, failed: bool
+    ) -> None:
+        """One DONE report: resolve the task id against the worker's
+        inflight stack (driver-shipped) or its mirror (locally-born)."""
+        with self._cond:
+            spec = next(
+                (s for s in worker.inflight if s.task_id == task_id), None
+            )
+            if spec is not None:
+                worker.inflight.remove(spec)
+            else:
+                spec = worker.mirror.remove(task_id)
+            self._payloads.pop(task_id, None)
+            if spec is None:
+                # Cancelled while mid-run on the worker: the marker owns
+                # the result slots; drop the blobs (and any arena space
+                # the worker filled for them).
+                if self._shm is not None:
+                    for blob in blobs:
+                        if isinstance(blob, ShmDescriptor):
+                            self._shm.abort(blob.object_id)
+                return
+            self._finish_spec(worker, spec, blobs, failed)
+
+    def _drain_worker_messages(self, worker: _WorkerHandle) -> None:
+        """Pump buffered worker messages while the worker is blocked in
+        a get/wait rpc (bottom-up only; called by its service thread).
+
+        A blocked worker still answers steal requests inside its
+        reply-wait loop, but this service thread is parked on the
+        condition variable, not the pipe — without this drain a grant
+        would sit unread and the stolen tasks (possibly the very tasks
+        the blocked worker is waiting on) would never be re-homed."""
+        self._flush_outbox(worker)
+        while worker.conn.poll():
+            message = worker.conn.recv()
+            if not self._handle_async_report(worker, message):
+                # The blocked child is awaiting OUR reply: it cannot have
+                # issued another request, so anything else is a protocol bug.
+                raise BackendError(
+                    f"unexpected worker message {message[0]!r} while "
+                    "serving a blocked worker"
+                )
+
+    # ------------------------------------------------------------------
     # One task on one worker
     # ------------------------------------------------------------------
 
@@ -747,15 +1219,11 @@ class ProcRuntime:
         Pipe failures propagate to the caller (crash handling); anything
         unserializable resolves the task to an error value instead."""
         try:
-            payload = self._build_payload(spec)
+            payload = self._build_payload(spec, worker)
         except (TypeError, ReproError) as exc:
-            with self._cond:
-                worker.inflight.remove(spec)
-                data = serialize(error_value_from(spec, exc))
-                for object_id in spec.all_return_ids():
-                    self._store_bytes(object_id, data)
+            self._fail_payload(worker, spec, exc)
             return
-        worker.conn.send((msg.TASK, payload))
+        self._send(worker, (msg.TASK, payload))
         while True:
             message = worker.conn.recv()
             if message[0] == msg.RESULT:
@@ -768,10 +1236,37 @@ class ProcRuntime:
         blocked awaiting an RPC reply (it executes reentrantly there)."""
         with self._cond:
             worker.inflight.append(spec)
-        self._execute_remote(worker, spec)
+        if self.dispatch_mode != "bottom_up":
+            self._execute_remote(worker, spec)
+            return
+        # Bottom-up: same injection, but completions are DONE reports
+        # and the blocked worker may interleave notices and grants.
+        try:
+            payload = self._build_payload(spec, worker)
+        except (TypeError, ReproError) as exc:
+            self._fail_payload(worker, spec, exc)
+            return
+        self._send(worker, (msg.TASK, payload))
+        while True:
+            self._flush_outbox(worker)
+            message = worker.conn.recv()
+            if message[0] == msg.DONE and message[1] == spec.task_id:
+                self._finish_done(worker, message[1], message[2], message[3])
+                return
+            if not self._handle_async_report(worker, message):
+                self._serve_rpc(worker, message)
 
-    def _build_payload(self, spec: TaskSpec) -> dict:
-        """Resolve ref arguments into inline blobs or store markers."""
+    def _build_payload(self, spec: TaskSpec, worker: _WorkerHandle) -> dict:
+        """Resolve ref arguments into inline blobs or store markers.
+
+        Worker-born tasks (bottom-up fast path) already carry their
+        payload — built by the submitting worker and mirrored here via
+        SUBMIT_LOCAL — so steal and crash-replay dispatches reuse it
+        verbatim; ref slots resolve through FETCH/shm on the executing
+        worker."""
+        existing = self._payloads.get(spec.task_id)
+        if existing is not None:
+            return existing
         inline: dict[ObjectID, bytes] = {}
         with self._cond:
             def slot(value: Any) -> Any:
@@ -785,6 +1280,9 @@ class ProcRuntime:
                         # reads zero-copy with no extra round trip.
                         segment, shm_slot, size = described
                         self._acct_shm.record_zero_copy(size)
+                        self._residency.record(
+                            worker.index, value.object_id, size
+                        )
                         return SlotRef(
                             value.object_id,
                             shm=ShmDescriptor(
@@ -802,6 +1300,7 @@ class ProcRuntime:
                     self._acct_inline.record(len(data))
                 else:
                     self._acct_stored.record(len(data))
+                self._residency.record(worker.index, value.object_id, len(data))
                 return SlotRef(value.object_id)
 
             args_template = tuple(slot(value) for value in spec.args)
@@ -850,43 +1349,50 @@ class ProcRuntime:
     ) -> None:
         with self._cond:
             worker.inflight.remove(spec)
-            worker.tasks_done += 1
-            self._tasks_executed += 1
-            self._acct_results.record(
-                sum(len(data) for data in blobs if not isinstance(data, ShmDescriptor))
-            )
-            if spec.actor_id is not None:
-                record = self.actors.get(spec.actor_id)
-                if record is not None and not record.dead and not failed:
-                    if spec.actor_method == CREATION_METHOD:
-                        # The live instance exists in the worker process;
-                        # the driver records only that binding.
-                        register_instance(record, REMOTE_INSTANCE, worker.node_id)
-                    else:
-                        record.methods_executed += 1
-            if self._lifecycle.is_cancelled(spec.task_id):
-                # Cancelled mid-run: the marker owns the slots; shm
-                # allocations the worker filled are dropped unsealed.
-                if self._shm is not None:
-                    for blob in blobs:
-                        if isinstance(blob, ShmDescriptor):
-                            self._shm.abort(blob.object_id)
-                return
-            for object_id, data in zip(spec.all_return_ids(), blobs):
-                if isinstance(data, ShmDescriptor):
-                    # The payload is already in shared memory (the worker
-                    # wrote it through its own mapping): publish it.
-                    self._shm.seal(object_id)
-                    self._acct_shm.record_zero_copy(data.size)
-                    self._object_arrived(object_id)
-                    continue
-                try:
-                    self._store_bytes(object_id, data)
-                except ReproError as exc:
-                    # Store full: keep consumers unblocked with a tiny marker.
-                    self._store_bytes(
-                        object_id, serialize(error_value_from(spec, exc))
-                    )
+            self._finish_spec(worker, spec, blobs, failed)
+
+    def _finish_spec(
+        self, worker: _WorkerHandle, spec: TaskSpec, blobs: list, failed: bool
+    ) -> None:
+        """Record one completed task and publish its results (lock held;
+        the spec is already off the inflight stack / mirror)."""
+        worker.tasks_done += 1
+        self._tasks_executed += 1
+        self._acct_results.record(
+            sum(len(data) for data in blobs if not isinstance(data, ShmDescriptor))
+        )
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            if record is not None and not record.dead and not failed:
+                if spec.actor_method == CREATION_METHOD:
+                    # The live instance exists in the worker process;
+                    # the driver records only that binding.
+                    register_instance(record, REMOTE_INSTANCE, worker.node_id)
+                else:
+                    record.methods_executed += 1
+        if self._lifecycle.is_cancelled(spec.task_id):
+            # Cancelled mid-run: the marker owns the slots; shm
+            # allocations the worker filled are dropped unsealed.
+            if self._shm is not None:
+                for blob in blobs:
+                    if isinstance(blob, ShmDescriptor):
+                        self._shm.abort(blob.object_id)
+            return
+        for object_id, data in zip(spec.all_return_ids(), blobs):
+            if isinstance(data, ShmDescriptor):
+                # The payload is already in shared memory (the worker
+                # wrote it through its own mapping): publish it.
+                self._shm.seal(object_id)
+                self._acct_shm.record_zero_copy(data.size)
+                self._object_arrived(object_id)
+                continue
+            try:
+                self._store_bytes(object_id, data)
+            except ReproError as exc:
+                # Store full: keep consumers unblocked with a tiny marker.
+                self._store_bytes(
+                    object_id, serialize(error_value_from(spec, exc))
+                )
 
     # ------------------------------------------------------------------
     # Worker request service
@@ -896,7 +1402,7 @@ class ProcRuntime:
         tag = message[0]
         try:
             if tag == msg.FETCH:
-                reply = self._fetch_bytes(message[1])
+                reply = self._fetch_bytes(worker, message[1])
             elif tag == msg.SUBMIT:
                 reply = self._submit_from_worker(message[1])
             elif tag == msg.GET:
@@ -906,13 +1412,13 @@ class ProcRuntime:
                     worker, message[1], message[2], message[3]
                 )
             elif tag == msg.PUT:
-                reply = self._put_bytes(message[1])
+                reply = self._put_bytes(worker, message[1])
             elif tag == msg.SHM_ATTACH:
-                reply = self._shm_attach(message[1])
+                reply = self._shm_attach(worker, message[1])
             elif tag == msg.SHM_CREATE:
                 reply = self._shm_create(worker, message[1], message[2])
             elif tag == msg.SHM_SEAL:
-                reply = self._shm_seal(message[1])
+                reply = self._shm_seal(worker, message[1])
             elif tag == msg.SHM_ABORT:
                 reply = self._shm_abort(message[1])
             elif tag == msg.CANCEL:
@@ -935,11 +1441,11 @@ class ProcRuntime:
             # raise anything (hostile __setstate__, unpicklable args); the
             # service thread must survive and answer, or the parked child
             # process is stranded forever with no crash to detect.
-            worker.conn.send((msg.ERR, _pipe_safe_error(tag, exc)))
+            self._send(worker, (msg.ERR, _pipe_safe_error(tag, exc)))
         else:
-            worker.conn.send((msg.OK, reply))
+            self._send(worker, (msg.OK, reply))
 
-    def _fetch_bytes(self, object_id: ObjectID) -> bytes:
+    def _fetch_bytes(self, worker: _WorkerHandle, object_id: ObjectID) -> bytes:
         with self._cond:
             data = self._store.get(object_id)
             if data is None and self._shm is not None and self._shm.contains(
@@ -955,6 +1461,9 @@ class ProcRuntime:
                     f"object {object_id} is not resident in the driver store"
                 )
             self._acct_fetched.record(len(data))
+            # The worker caches what it fetches: from here on the object
+            # is locality-resident there.
+            self._residency.record(worker.index, object_id, len(data))
             return data
 
     def _blob_for(self, object_id: ObjectID) -> Any:
@@ -968,7 +1477,7 @@ class ProcRuntime:
                 return ShmDescriptor(object_id, segment, slot, size)
         return self._store.get(object_id)
 
-    def _shm_attach(self, object_id: ObjectID) -> Any:
+    def _shm_attach(self, worker: _WorkerHandle, object_id: ObjectID) -> Any:
         """Serve a worker's metadata-only fetch: descriptor when the
         object is shm-resident, bytes fallback otherwise."""
         with self._cond:
@@ -977,7 +1486,9 @@ class ProcRuntime:
                 raise ObjectLostError(
                     f"object {object_id} is not resident in the driver store"
                 )
-            if not isinstance(blob, ShmDescriptor):
+            if isinstance(blob, ShmDescriptor):
+                self._residency.record(worker.index, object_id, blob.size)
+            else:
                 self._acct_fetched.record(len(blob))
             return blob
 
@@ -1008,7 +1519,7 @@ class ProcRuntime:
             segment, slot, size = granted
             return ShmDescriptor(object_id, segment, slot, size)
 
-    def _shm_seal(self, object_id: ObjectID) -> ObjectRef:
+    def _shm_seal(self, worker: _WorkerHandle, object_id: ObjectID) -> ObjectRef:
         """Publish a worker-filled allocation (the put path's second
         phase) and wake anything parked on the object."""
         with self._cond:
@@ -1018,6 +1529,7 @@ class ProcRuntime:
                 )
             size = self._shm.size_of(object_id) or 0
             self._acct_shm.record_zero_copy(size)
+            self._residency.record(worker.index, object_id, size)
             self._object_arrived(object_id)
         return ObjectRef(object_id)
 
@@ -1079,9 +1591,25 @@ class ProcRuntime:
         ``worker``'s child process is parked in ``recv`` awaiting our
         reply, so tasks pinned to it — possibly the very ones the blocked
         task is getting — can only run if we feed them to it now; the
-        child executes them reentrantly (see ``ProcWorker.rpc``)."""
+        child executes them reentrantly (see ``ProcWorker.rpc``).
+
+        In bottom-up mode a blocked worker stays a full execution
+        resource, which is what makes a fully-blocked pool deadlock-free
+        (driver mode, the ablation baseline, pumps only pinned tasks):
+
+        * runnable stateless work — its placed queue, the global queue —
+          is injected reentrantly exactly like pinned tasks;
+        * its own local queue is recovered by *self-steal*: the blocked
+          child answers STEAL_REQUESTs from its reply-wait loop, the
+          grant re-homes the tasks into the global queue, and they come
+          back through the injection path above;
+        * the pipe is polled for those grants (this thread is their only
+          reader), and busy peers are raided on this worker's behalf.
+        """
+        bottom_up = self.dispatch_mode == "bottom_up"
         while True:
             nested: Optional[TaskSpec] = None
+            drain = False
             with self._cond:
                 while True:
                     if predicate():
@@ -1094,23 +1622,59 @@ class ProcRuntime:
                             nested = claimed
                             break
                         continue
+                    if bottom_up and (worker.placed or self._queue):
+                        spec = (
+                            worker.placed.popleft()
+                            if worker.placed
+                            else self._queue.popleft()
+                        )
+                        if self._lifecycle.is_cancelled(spec.task_id):
+                            self._payloads.pop(spec.task_id, None)
+                            continue
+                        if spec.actor_id is not None:
+                            claimed = self._claim_actor_spec(worker, spec)
+                            if claimed is None:
+                                continue
+                            spec = claimed
+                        nested = spec
+                        break
                     remaining = None
                     if deadline is not None:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
                             return False
+                    if bottom_up:
+                        self._request_remote_steal(worker, include_self=True)
+                        self._cond.wait(
+                            timeout=_STEAL_POLL_INTERVAL
+                            if remaining is None
+                            else min(remaining, _STEAL_POLL_INTERVAL)
+                        )
+                        drain = True
+                        break
                     self._cond.wait(timeout=remaining)
-            self._dispatch_nested(worker, nested)
+            if nested is not None:
+                self._dispatch_nested(worker, nested)
+            elif drain:
+                self._drain_worker_messages(worker)
 
-    def _put_bytes(self, data: bytes) -> ObjectRef:
+    def _put_bytes(self, worker: _WorkerHandle, data: bytes) -> ObjectRef:
         with self._cond:
             object_id = self.ids.object_id()
             self._store_bytes(object_id, data)
+            # The putting worker keeps a copy in its cache.
+            self._residency.record(worker.index, object_id, len(data))
         return ObjectRef(object_id)
 
     def _submit_from_worker(self, payload: dict) -> Any:
         function = deserialize_portable(payload["function_bytes"])
         args, kwargs = deserialize_portable(payload["call_bytes"])
+        if self.dispatch_mode == "bottom_up":
+            # A worker-born task that could not take the fast path
+            # (unresolved/non-resident deps, misfit resources, backlog):
+            # the paper's spillover stream into the driver tier.
+            with self._cond:
+                self._sched.tasks_spilled += 1
         return self.submit_task(
             function=function,
             function_id=self.ids.function_id(),
@@ -1216,6 +1780,23 @@ class ProcRuntime:
             if inflight is not None and inflight not in doomed:
                 doomed.append(inflight)
             worker.inflight.clear()
+            # Bottom-up: the worker's local queue died with it, but the
+            # mirror has every task (SUBMIT_LOCAL precedes everything
+            # else on the pipe) and _payloads still holds their shipped
+            # forms — re-home them through the same lineage-replay gate
+            # as the in-flight stack.  This also covers tasks mid-steal:
+            # a grant the victim never delivered leaves them in the
+            # mirror, so they are re-homed here instead of lost.
+            for _task_id, mirrored in worker.mirror.drain():
+                if mirrored not in doomed:
+                    doomed.append(mirrored)
+            # Driver-placed tasks never reached the worker: re-place
+            # them on the survivors (no replay budget consumed).
+            replaced = list(worker.placed)
+            worker.placed.clear()
+            worker.busy = False
+            worker.steal_outstanding = False
+            self._residency.forget_holder(worker.index)
             self._workers_crashed += 1
             self._by_node.pop(worker.node_id, None)
             try:
@@ -1258,6 +1839,13 @@ class ProcRuntime:
             for spec in rehome:
                 spec.placement_hint = replacement.node_id
                 replacement.pinned.append(spec)
+            for spec in replaced:
+                # Placement re-runs against the healed pool; a stale
+                # placement_hint pointing at the dead node must not pin
+                # the task to a queue nobody drains.
+                if spec.placement_hint == worker.node_id:
+                    spec.placement_hint = None
+                self._enqueue(spec)
             self._cond.notify_all()
 
     def _resolve_crashed_task(self, spec: TaskSpec) -> None:
@@ -1276,13 +1864,17 @@ class ProcRuntime:
                 )
             return
         if self._lifecycle.is_cancelled(spec.task_id):
+            self._payloads.pop(spec.task_id, None)
             return  # the cancellation marker already owns its slots
         attempts = self._replays.get(spec.task_id, 0)
         if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
             self._replays[spec.task_id] = attempts + 1
             self._lineage_replays += 1
+            # Worker-born tasks keep their _payloads entry: the replay
+            # dispatch reships the exact payload the dead worker built.
             self._queue.append(spec)
             return
+        self._payloads.pop(spec.task_id, None)
         if self._crash_policy == "fail":
             detail = "worker_crash_policy='fail' disables lineage replay"
         else:

@@ -18,6 +18,20 @@ simulated worker would.  Large arguments are cached in a per-worker
 :class:`~repro.objectstore.store.LocalObjectStore` (the same LRU
 byte-store used on every node of the simulated cluster), pinned while the
 task runs.
+
+In ``dispatch_mode="bottom_up"`` the worker additionally owns the
+bottom tier of the scheduling plane (:mod:`repro.sched_plane`): a
+:class:`~repro.sched_plane.queues.LocalTaskQueue` it is the sole
+executor of.  A nested ``.remote()`` whose dependencies are already
+resident here (argument cache, own shared-memory descriptors) builds
+its spec *locally* — the worker allocates task and object ids from its
+own collision-free namespace — enqueues it to itself, and tells the
+driver with a one-way ``SUBMIT_LOCAL`` notice: **zero driver
+round-trips** on the submission path.  The worker drains this queue
+between driver tasks, answers ``STEAL_REQUEST``\\ s by granting the
+tail of the queue (ownership makes the grant race-free: what it gives
+away it provably never runs), and honors ``CANCEL_NOTICE`` tombstones
+before dispatching each local task.
 """
 
 from __future__ import annotations
@@ -37,7 +51,7 @@ from repro.core.actors import (
 from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
 from repro.core.object_ref import ObjectRef
 from repro.core.protocol import normalize_get_refs, unwrap_loaded, validate_wait_args
-from repro.core.task import TaskSpec, _UNSET, resolve_task_options
+from repro.core.task import TaskSpec, _UNSET, build_task_spec, resolve_task_options
 from repro.core.worker import (
     ErrorValue,
     error_value_from,
@@ -48,7 +62,15 @@ from repro.errors import ReproError
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
-from repro.utils.ids import IDGenerator, NodeID
+from repro.scheduling.policies import SpilloverPolicy
+from repro.sched_plane.queues import LocalTaskQueue
+from repro.utils.ids import IDGenerator, NodeID, ObjectID
+
+#: Fast-path backpressure: the most locally-born tasks whose lineage
+#: registration (PLACED ack) may be outstanding before new nested
+#: submissions spill to the driver instead.  Bounds the work that only
+#: the submitting task's own replay could rebuild after a crash.
+MAX_UNACKED_LOCAL = 4096
 from repro.utils.serialization import (
     DEFAULT_INLINE_THRESHOLD,
     deserialize,
@@ -104,7 +126,7 @@ class WorkerRuntime:
     def __init__(self, worker: "ProcWorker") -> None:
         self._worker = worker
         self.closed = False
-        self.ids = IDGenerator(namespace=f"repro-proc-worker/{worker.index}")
+        self.ids = worker.ids
 
     # Function registration is local: the function itself ships by value
     # with every submission, so the driver never needs this id to resolve
@@ -130,8 +152,13 @@ class WorkerRuntime:
             placement_hint=placement_hint,
             max_reconstructions=max_reconstructions,
         )
+        result = self._worker.try_submit_local(
+            function, function_name, tuple(args), dict(kwargs or {}), options
+        )
+        if result is not None:
+            return result
         payload = {
-            "function_bytes": serialize_portable(function),
+            "function_bytes": self._worker.function_bytes(function),
             "function_name": function_name,
             "call_bytes": serialize_portable((tuple(args), dict(kwargs or {}))),
             # ``duration`` may be a closure (a sim-only concept anyway):
@@ -171,11 +198,18 @@ class WorkerRuntime:
             if not should_inline(serialized.total_bytes, worker.inline_threshold):
                 granted = worker._ship_value(None, serialized)
                 if granted is not None:
-                    return worker.rpc(msg.SHM_SEAL, granted.object_id)
+                    ref = worker.rpc(msg.SHM_SEAL, granted.object_id)
+                    worker.note_shm(granted)
+                    return ref
             data = serialized.in_band_bytes()
             if data is not None:
-                return worker.rpc(msg.PUT, data)
-        return worker.rpc(msg.PUT, serialize(value))
+                ref = worker.rpc(msg.PUT, data)
+                worker.remember_bytes(ref.object_id, data)
+                return ref
+        data = serialize(value)
+        ref = worker.rpc(msg.PUT, data)
+        worker.remember_bytes(ref.object_id, data)
+        return ref
 
     def create_actor(
         self, actor_class, class_name, args, kwargs, resources,
@@ -224,10 +258,19 @@ class ProcWorker:
         cache_capacity: int,
         shm_enabled: bool = False,
         inline_threshold: Optional[int] = None,
+        dispatch_mode: str = "driver",
+        spawn_token: int = 0,
+        spillover_policy: Optional[SpilloverPolicy] = None,
     ) -> None:
         self.conn = conn
         self.index = index
         self.node_id = NodeID.from_seed(f"repro-proc/{seed}/worker/{index}")
+        #: Collision-free id namespace for locally-born specs: the spawn
+        #: token distinguishes a replacement worker in the same slot from
+        #: its dead predecessor, so replayed lifetimes never reuse ids.
+        self.ids = IDGenerator(
+            namespace=f"repro-proc-worker/{seed}/{index}/{spawn_token}"
+        )
         #: LRU byte-cache of fetched (non-inline) arguments; immutable
         #: objects make invalidation a non-problem.
         self.cache = LocalObjectStore(self.node_id, capacity=cache_capacity)
@@ -236,6 +279,37 @@ class ProcWorker:
         self.proxy = WorkerRuntime(self)
         self._effect_handler = _ProcEffectHandler(self)
         self.tasks_executed = 0
+        #: The bottom tier of the scheduling plane (bottom_up mode): the
+        #: run queue this process is the sole executor of.
+        self.dispatch_mode = dispatch_mode
+        # The default threshold is deliberately high: on this plane the
+        # primary rebalancer is work stealing (idle workers pull), so
+        # spillover only guards against a worker hoarding an enormous
+        # fan-out the pool provably cannot drain behind it.
+        self.spillover = spillover_policy or SpilloverPolicy(
+            mode="hybrid", queue_threshold=512.0
+        )
+        self.local_queue = LocalTaskQueue()
+        #: SUBMIT_LOCAL notices not yet PLACED-acked by the driver: the
+        #: window of locally-born tasks whose lineage registration is
+        #: still in flight.  The fast path declines (spills) once the
+        #: window hits MAX_UNACKED_LOCAL, bounding how much work could
+        #: need rebuilding from the submitting task's own replay.
+        self.unacked_local = 0
+        #: Fast-path notices buffered for the next pipe touch: batching
+        #: turns a K-task fan-out's control traffic into one send.  The
+        #: flush-before-every-outbound-message discipline (see
+        #: :meth:`_flush_notices`) keeps the causal order the mirror
+        #: depends on.
+        self._pending_notices: list = []
+        #: Per-callable serialized-code cache for nested submissions.
+        self._fn_bytes: dict = {}
+        #: Shared-memory descriptors this process has seen (attached
+        #: arguments, sealed puts/results).  Sealed objects are pinned
+        #: driver-side, so a remembered descriptor stays valid for the
+        #: runtime's lifetime; used for residency checks and to embed
+        #: descriptors in locally-built payloads.
+        self._known_shm: dict = {}
         #: The shared-memory data plane (lazy segment attach; refcount
         #: cell column = worker index + 1, 0 being the driver's).
         self.shm_enabled = shm_enabled
@@ -282,11 +356,43 @@ class ProcWorker:
             if self.shm is not None:
                 try:
                     self._hold_descriptor(blob)
-                    return deserialize_frame(self.shm.read(blob.segment, blob.slot))
+                    value = deserialize_frame(self.shm.read(blob.segment, blob.slot))
+                    self.note_shm(blob)
+                    return value
                 except OSError:
                     pass
             blob = self.rpc(msg.FETCH, blob.object_id)
         return deserialize(blob)
+
+    def note_shm(self, descriptor: ShmDescriptor) -> None:
+        """Remember a descriptor this process can re-attach (residency)."""
+        if self.shm is not None:
+            self._known_shm[descriptor.object_id] = descriptor
+
+    def remember_bytes(self, object_id: ObjectID, data: bytes) -> None:
+        """Opportunistically cache bytes known to equal the driver-stored
+        object (puts, inline args) so later nested submissions can treat
+        the object as locally resident."""
+        try:
+            self.cache.put(object_id, data)
+        except ReproError:
+            pass  # larger than the cache: not resident, just unlucky
+
+    def function_bytes(self, function) -> bytes:
+        """Serialize a function once per worker lifetime (the worker
+        analogue of the driver's per-function-id code cache): code
+        shipping, not pickling, must dominate a fan-out's first submit
+        only.  Keyed by the callable itself — remote functions are
+        long-lived module objects, so the strong reference is bounded by
+        the program's distinct remote functions."""
+        try:
+            cached = self._fn_bytes.get(function)
+        except TypeError:  # unhashable callable: serialize every time
+            return serialize_portable(function)
+        if cached is None:
+            cached = serialize_portable(function)
+            self._fn_bytes[function] = cached
+        return cached
 
     def _ship_value(self, object_id, serialized) -> Any:
         """Write a split value into shm and return its descriptor, or
@@ -330,12 +436,20 @@ class ProcWorker:
         the process was idle-blocked anyway — and the exchange then
         resumes.  This is the proc analogue of blocked sim workers
         releasing their resource slots (R3)."""
+        self._flush_notices()
         self.conn.send((tag,) + parts)
         while True:
             reply = self.conn.recv()
             if reply[0] == msg.TASK:
-                data, failed = self.execute(reply[1])
-                self.conn.send((msg.RESULT, data, failed))
+                payload = reply[1]
+                data, failed = self.execute(payload)
+                if self.dispatch_mode == "bottom_up":
+                    self._flush_notices()
+                    self.conn.send((msg.DONE, payload["task_id"], data, failed))
+                else:
+                    self.conn.send((msg.RESULT, data, failed))
+                continue
+            if self._handle_control(reply):
                 continue
             if reply[0] == msg.ERR:
                 raise reply[1]
@@ -352,6 +466,9 @@ class ProcWorker:
         # current runtime; in this process that is the driver proxy.
         runtime_context._current_runtime = self.proxy
         try:
+            if self.dispatch_mode == "bottom_up":
+                self._run_bottom_up()
+                return
             while True:
                 message = self.conn.recv()
                 tag = message[0]
@@ -370,6 +487,206 @@ class ProcWorker:
                 self.conn.close()
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------
+    # Bottom-up mode: local queue, steal grants, cancellation tombstones
+    # ------------------------------------------------------------------
+
+    def _run_bottom_up(self) -> None:
+        """The session loop of bottom-up mode.
+
+        One driver ``TASK`` opens a session; the worker then alternates
+        between the task it was handed and its own local queue (which
+        that task probably grew via the fast path), reporting each
+        completion with a one-way ``DONE``.  ``IDLE`` closes the session
+        and parks the worker on the pipe for the next one.  Driver
+        control messages are drained at every dispatch boundary, so a
+        cancellation or steal landing between two local tasks takes
+        effect before the next one runs.
+        """
+        # At spawn the driver already counts this worker idle — the
+        # first session opens with a TASK, not with an IDLE announcement
+        # (an unsolicited IDLE would read as a phantom session close).
+        if not self._idle_until_task():
+            return
+        while True:
+            self._drain_control()
+            entry = self._next_local()
+            if entry is not None:
+                task_id, payload = entry
+                data, failed = self.execute(payload)
+                self._flush_notices()
+                self.conn.send((msg.DONE, task_id, data, failed))
+                continue
+            self._flush_notices()  # nothing runnable, but notices may wait
+            self.conn.send((msg.IDLE,))
+            if not self._idle_until_task():
+                return
+
+    def _next_local(self) -> Optional[tuple]:
+        """Pop the next runnable local task.  Cancellation needs no
+        check here: a CANCEL_NOTICE removes the task from the queue the
+        moment it is handled (and _drain_control runs before every
+        pop), so a cancelled task is provably never popped."""
+        return self.local_queue.pop_head()
+
+    def _idle_until_task(self) -> bool:
+        """Park on the pipe between sessions; False means shutdown."""
+        while True:
+            message = self.conn.recv()
+            tag = message[0]
+            if tag == msg.SHUTDOWN:
+                return False
+            if tag == msg.TASK:
+                payload = message[1]
+                data, failed = self.execute(payload)
+                self._flush_notices()
+                self.conn.send((msg.DONE, payload["task_id"], data, failed))
+                return True
+            if not self._handle_control(message):
+                raise RuntimeError(f"unexpected driver message {tag!r} while idle")
+
+    def _drain_control(self) -> None:
+        """Process every buffered one-way driver message (non-blocking)."""
+        while self.conn.poll():
+            message = self.conn.recv()
+            if not self._handle_control(message):
+                raise RuntimeError(
+                    f"unexpected driver message {message[0]!r} between tasks"
+                )
+
+    def _handle_control(self, message: tuple) -> bool:
+        """Handle a one-way driver message; False if it was not one."""
+        tag = message[0]
+        if tag == msg.STEAL_REQUEST:
+            granted = self.local_queue.steal_tail(message[1])
+            # The grant is authoritative: this process is the queue's
+            # only executor, so a task id it sends away can never also
+            # run here.  Payloads are dropped — the driver re-homes the
+            # tasks from its mirror, which the flush below guarantees
+            # already knows every granted id.
+            self._flush_notices()
+            self.conn.send((msg.STEAL_GRANT, [task_id for task_id, _ in granted]))
+            return True
+        if tag == msg.CANCEL_NOTICE:
+            # The worker-side dispatch-time drop: gone from the queue,
+            # the task can never be popped, so it never executes.
+            self.local_queue.remove(message[1])
+            return True
+        if tag == msg.PLACED:
+            self.unacked_local = max(0, self.unacked_local - len(message[1]))
+            return True
+        return False
+
+    def try_submit_local(
+        self, function, function_name: str, args: tuple, kwargs: dict, options
+    ) -> Any:
+        """The bottom-up fast path: keep a nested submission on this
+        worker when every dependency is already resident here.
+
+        Returns the refs (``public_result`` shape) on success, or None
+        when the task must spill to the driver instead — unresolved or
+        non-resident dependencies, actor ordering, a placement hint for
+        another node, resources one worker slot cannot satisfy, or a
+        local backlog past the spillover threshold (all but the first
+        decided by the shared :class:`SpilloverPolicy`).
+        """
+        if self.dispatch_mode != "bottom_up":
+            return None
+        if self.unacked_local + len(self._pending_notices) >= MAX_UNACKED_LOCAL:
+            return None  # lineage-ack backpressure: spill instead
+        refs = [
+            value
+            for value in list(args) + list(kwargs.values())
+            if isinstance(value, ObjectRef)
+        ]
+        if not all(self._locally_resident(ref.object_id) for ref in refs):
+            return None
+        spec = build_task_spec(
+            self.ids,
+            function=function,
+            function_id=self.ids.function_id(),
+            function_name=function_name,
+            args=args,
+            kwargs=kwargs,
+            options=options.merged(duration=None),
+            submitted_from=self.node_id,
+        )
+        if self.spillover.should_spill(
+            spec,
+            node_cpus=1,
+            node_gpus=0,
+            backlog=len(self.local_queue),
+            this_node=self.node_id,
+        ):
+            return None
+        payload = self._build_local_payload(spec, function)
+        # The notice is one-way and *buffered* — this is the zero
+        # round-trip path: a fan-out's notices coalesce into a single
+        # send at the next pipe touch, and the driver's (batched)
+        # PLACED ack arrives asynchronously, carrying the lineage
+        # guarantee.  _flush_notices() before every other outbound
+        # message is what keeps the mirror causally ahead of any DONE
+        # or STEAL_GRANT that could mention the task.
+        self._pending_notices.append(
+            {
+                "payload": payload,
+                "function_name": spec.function_name,
+                "resources": spec.resources,
+                "max_reconstructions": spec.max_reconstructions,
+                "submitted_from": self.node_id,
+            }
+        )
+        self.local_queue.push(spec.task_id, payload)
+        return spec.public_result()
+
+    def _flush_notices(self) -> None:
+        """Ship buffered SUBMIT_LOCAL notices (one message for all).
+
+        Called before *every* other outbound pipe message — DONE, IDLE,
+        STEAL_GRANT, and any rpc request — so by pipe FIFO the driver
+        registers a locally-born task strictly before it can see the
+        task's completion, a grant giving it away, or any value/request
+        in which its ref could escape this process."""
+        if self._pending_notices:
+            batch, self._pending_notices = self._pending_notices, []
+            self.conn.send((msg.SUBMIT_LOCAL, batch))
+            self.unacked_local += len(batch)
+
+    def _locally_resident(self, object_id: ObjectID) -> bool:
+        """Whether this process can materialize the object without the
+        driver: cached bytes or an attachable shm descriptor."""
+        return self.cache.contains(object_id) or object_id in self._known_shm
+
+    def _build_local_payload(self, spec: TaskSpec, function) -> dict:
+        """The worker-side twin of the driver's ``_build_payload``: same
+        wire shape, but ref slots resolve from local residency (known
+        shm descriptors embedded; cached bytes left for dispatch-time
+        resolution, with a FETCH fallback if the cache evicts them)."""
+
+        def slot(value: Any) -> Any:
+            if not isinstance(value, ObjectRef):
+                return value
+            return SlotRef(
+                value.object_id, shm=self._known_shm.get(value.object_id)
+            )
+
+        return {
+            "task_id": spec.task_id,
+            "function_id": spec.function_id,
+            "function_name": spec.function_name,
+            "return_object_id": spec.return_object_id,
+            "return_object_ids": spec.all_return_ids(),
+            "num_returns": spec.num_returns,
+            "call_bytes": serialize_portable(
+                (
+                    tuple(slot(value) for value in spec.args),
+                    {key: slot(value) for key, value in spec.kwargs.items()},
+                )
+            ),
+            "inline": {},
+            "function_bytes": self.function_bytes(function),
+        }
 
     # ------------------------------------------------------------------
     # Task execution
@@ -448,6 +765,10 @@ class ProcWorker:
             if not should_inline(serialized.total_bytes, self.inline_threshold):
                 granted = self._ship_value(object_id, serialized)
                 if granted is not None:
+                    # NOT remembered in _known_shm: the driver seals this
+                    # grant only on DONE receipt, and aborts it instead if
+                    # the task was cancelled mid-run — a remembered
+                    # descriptor could alias a reused slot.
                     return granted
             # Small (or shm refused): the plain pipe path — reusing the
             # in-band stream unless buffers went out-of-band, in which
@@ -501,6 +822,10 @@ class ProcWorker:
             if self.cache.contains(object_id):
                 self.cache.pin(object_id)
                 pinned.append(object_id)
+        elif not self.cache.contains(object_id):
+            # Inline args are tiny; caching them makes the object count
+            # as locally resident for the bottom-up fast path.
+            self.remember_bytes(object_id, data)
         return deserialize(data)
 
     def _execute_function(self, spec: TaskSpec, payload: dict, args, kwargs) -> Any:
@@ -557,6 +882,9 @@ def worker_main(
     cache_capacity: int,
     shm_enabled: bool = False,
     inline_threshold: Optional[int] = None,
+    dispatch_mode: str = "driver",
+    spawn_token: int = 0,
+    spillover_policy: Optional[SpilloverPolicy] = None,
 ) -> None:
     """Entry point of a worker child process (importable for spawn)."""
     ProcWorker(
@@ -566,4 +894,7 @@ def worker_main(
         cache_capacity=cache_capacity,
         shm_enabled=shm_enabled,
         inline_threshold=inline_threshold,
+        dispatch_mode=dispatch_mode,
+        spawn_token=spawn_token,
+        spillover_policy=spillover_policy,
     ).run()

@@ -1,0 +1,52 @@
+"""Scheduling-plane counters (the ``stats()["sched"]`` surface).
+
+Same shape as :class:`~repro.utils.serialization.ByteAccountant`: a tiny
+mutable record the runtime mutates under its own lock and snapshots into
+``stats()``.  The four headline counters are the observables the paper's
+scheduling story predicts — most work placed locally, a bounded spill
+stream, and steals only when the pool is imbalanced — and the scheduler
+ablation benchmarks assert on exactly these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SchedCounters:
+    """Where tasks were placed, and by whom.
+
+    ``tasks_placed_local``
+        Worker-born tasks the bottom-up fast path kept on their birth
+        worker: zero driver round-trips, acked asynchronously for
+        lineage.
+    ``tasks_spilled``
+        Worker-born tasks that had to go through the driver tier instead
+        (unresolved dependencies, resource misfit, placement hint, or a
+        local backlog past the spillover threshold).
+    ``tasks_placed_global``
+        Placements decided by the driver tier's policy (driver-born
+        work, spillover, crash re-homing).
+    ``tasks_stolen``
+        Tasks moved from one worker's queue to another by work stealing
+        (both driver-side queue raids and the wire steal protocol).
+    ``placement_locality_hits``
+        Driver-tier placements where the chosen worker already held at
+        least one of the task's argument objects.
+    """
+
+    tasks_placed_local: int = 0
+    tasks_spilled: int = 0
+    tasks_placed_global: int = 0
+    tasks_stolen: int = 0
+    placement_locality_hits: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "tasks_placed_local": self.tasks_placed_local,
+            "tasks_spilled": self.tasks_spilled,
+            "tasks_placed_global": self.tasks_placed_global,
+            "tasks_stolen": self.tasks_stolen,
+            "placement_locality_hits": self.placement_locality_hits,
+        }

@@ -11,11 +11,12 @@ never-spill (purely local) extremes.
 
 from repro.scheduling.global_scheduler import GlobalScheduler
 from repro.scheduling.local import LocalScheduler
-from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy
+from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
 
 __all__ = [
     "LocalScheduler",
     "GlobalScheduler",
     "SpilloverPolicy",
     "PlacementPolicy",
+    "StealPolicy",
 ]

@@ -22,6 +22,23 @@ BACKENDS = tuple(sorted(registered_backends()))
 #: The reference implementation the others are compared against.
 REFERENCE = "sim"
 
+#: The full matrix: every backend x every scheduling-plane dispatch mode
+#: of the real backends.  "driver" funnels all dispatch through the
+#: driver; "bottom_up" is the two-level plane (worker-local fast path,
+#: locality-aware spillover, work stealing).  The parity program must be
+#: observably identical across all of them.
+CONFIGS = {
+    "sim": ("sim", {}),
+    "local+driver": ("local", {"dispatch_mode": "driver"}),
+    "local+bottom_up": ("local", {"dispatch_mode": "bottom_up"}),
+    "proc+driver": ("proc", {"dispatch_mode": "driver"}),
+    "proc+bottom_up": ("proc", {"dispatch_mode": "bottom_up"}),
+}
+
+#: Configs whose cancellation/lifecycle proofs are re-run per dispatch
+#: mode (the bottom-up plane moves dispatch-time drops into workers).
+LIFECYCLE_CONFIGS = tuple(CONFIGS)
+
 
 @repro.remote
 class Accumulator:
@@ -87,10 +104,10 @@ def slow_tasks(backend, count):
     return [sleepy.remote(i) for i in range(count)]
 
 
-def run_program(backend):
+def run_program(backend, **init_kwargs):
     """The parity workload; returns every observable outcome."""
     outcome = {}
-    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=42)
+    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=42, **init_kwargs)
     try:
         # Tasks + dataflow chains.
         refs = [square.remote(i) for i in range(8)]
@@ -286,19 +303,23 @@ def run_program(backend):
 
 @pytest.fixture(scope="module")
 def program_outcomes():
-    """Run the parity workload once per backend (shared by the matrix)."""
-    return {backend: run_program(backend) for backend in BACKENDS}
+    """Run the parity workload once per config (shared by the matrix)."""
+    return {
+        name: run_program(backend, **kwargs)
+        for name, (backend, kwargs) in CONFIGS.items()
+    }
 
 
 def test_matrix_covers_all_shipped_backends():
     assert {"sim", "local", "proc"} <= set(BACKENDS)
+    assert {"proc+driver", "proc+bottom_up"} <= set(CONFIGS)
 
 
 @pytest.mark.parametrize(
-    "backend", [name for name in BACKENDS if name != REFERENCE]
+    "config", [name for name in CONFIGS if name != REFERENCE]
 )
-def test_same_program_same_results(program_outcomes, backend):
-    assert program_outcomes[backend] == program_outcomes[REFERENCE]
+def test_same_program_same_results(program_outcomes, config):
+    assert program_outcomes[config] == program_outcomes[REFERENCE]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -336,15 +357,17 @@ def test_wait_validation_is_shared(backend):
         repro.shutdown()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_cancel_unscheduled_provably_never_runs(tmp_path, backend):
+@pytest.mark.parametrize("config", LIFECYCLE_CONFIGS)
+def test_cancel_unscheduled_provably_never_runs(tmp_path, config):
     """A task cancelled before its dependencies resolve never executes:
     the side-effect sentinel file it would write must not exist — on any
-    backend, including the multiprocess one (the file is the only channel
-    a child process could leak evidence through)."""
-    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    backend and in any dispatch mode, including the multiprocess one
+    (the file is the only channel a child process could leak evidence
+    through)."""
+    backend, init_kwargs = CONFIGS[config]
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13, **init_kwargs)
     try:
-        sentinel = tmp_path / f"{backend}-evidence"
+        sentinel = tmp_path / "evidence"
         gate = slow_tasks(backend, 1)[0]
         doomed = write_sentinel.remote(str(sentinel), gate)
         assert repro.cancel(doomed) is True
@@ -355,7 +378,7 @@ def test_cancel_unscheduled_provably_never_runs(tmp_path, backend):
         repro.get(gate)
         repro.get(write_sentinel.remote(str(sentinel) + ".control", gate))
         assert not sentinel.exists()
-        assert (tmp_path / f"{backend}-evidence.control").exists()
+        assert (tmp_path / "evidence.control").exists()
     finally:
         repro.shutdown()
 
@@ -377,11 +400,12 @@ def test_cancel_effect_from_task_body(backend):
         repro.shutdown()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_recursive_cancel_tears_down_parked_subgraph(tmp_path, backend):
+@pytest.mark.parametrize("config", LIFECYCLE_CONFIGS)
+def test_recursive_cancel_tears_down_parked_subgraph(tmp_path, config):
     """cancel(recursive=True) also revokes parked dependents, which then
     never execute (their sentinel files stay absent)."""
-    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    backend, init_kwargs = CONFIGS[config]
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13, **init_kwargs)
     try:
         gate = slow_tasks(backend, 1)[0]
         root = add.remote(gate, 1)
@@ -398,10 +422,11 @@ def test_recursive_cancel_tears_down_parked_subgraph(tmp_path, backend):
         repro.shutdown()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_multi_return_refs_independently_consumable(backend):
+@pytest.mark.parametrize("config", LIFECYCLE_CONFIGS)
+def test_multi_return_refs_independently_consumable(config):
     """Each of the k refs stands alone for get and wait."""
-    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13)
+    backend, init_kwargs = CONFIGS[config]
+    repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=13, **init_kwargs)
     try:
         first, second, third = three_slices.remote(3)
         assert repro.get(third) == 300
@@ -412,10 +437,11 @@ def test_multi_return_refs_independently_consumable(backend):
         repro.shutdown()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
-def test_interleaved_actor_ordering_is_shared(backend):
+@pytest.mark.parametrize("config", LIFECYCLE_CONFIGS)
+def test_interleaved_actor_ordering_is_shared(config):
     """Two actors' call chains are independent but each totally ordered."""
-    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=7)
+    backend, init_kwargs = CONFIGS[config]
+    repro.init(backend=backend, num_nodes=2, num_cpus=2, seed=7, **init_kwargs)
     try:
         a = Accumulator.remote(0)
         b = Accumulator.remote(1000)

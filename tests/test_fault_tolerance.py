@@ -302,6 +302,20 @@ class TestProcWorkerCrash:
         runtime.kill_worker(0)
         assert repro.get(holder.get_value.remote(), timeout=60.0) == "recovered"
 
+    def test_dispatch_modes_share_crash_semantics(self, tmp_path):
+        """The scheduling plane must not change what a crash means: the
+        driver-dispatch ablation mode replays stateless work from
+        lineage exactly like the default bottom-up mode does."""
+        runtime = repro.init(
+            backend="proc", num_workers=1, dispatch_mode="driver"
+        )
+        marker = str(tmp_path / "started")
+        ref = hang_once.remote(marker)
+        _await_marker(marker)
+        runtime.kill_worker(0)
+        assert repro.get(ref, timeout=60.0) == "recovered"
+        assert runtime.stats()["lineage_replays"] == 1
+
     def test_actor_loss_propagates_through_dependents(self, tmp_path):
         """A task consuming a lost actor call's future sees ActorLostError
         too, exactly like downstream TaskError propagation."""
@@ -320,3 +334,103 @@ class TestProcWorkerCrash:
         with pytest.raises(ActorLostError):
             repro.get(consume.remote(nap_ref), timeout=60.0)
         assert repro.get(downstream, timeout=60.0) == 1
+
+
+# ----------------------------------------------------------------------
+# Bottom-up scheduling plane: crashes with tasks in worker-local queues
+# and mid-steal must re-home and replay, never lose work.
+# ----------------------------------------------------------------------
+
+
+@repro.remote
+def gated_child(index, gate_path):
+    """Blocks until the driver creates the gate file, then returns.
+    Idempotent, so lineage replay after a crash is observable only
+    through the stats counters."""
+    while not os.path.exists(gate_path):
+        time.sleep(0.01)
+    return index * 10
+
+
+@repro.remote
+def gated_spawner(count, gate_path, pid_path):
+    """Fans out ``count`` gated children via the worker-local fast path
+    and hands their refs (plus this worker's pid) back to the driver."""
+    with open(pid_path, "w") as handle:
+        handle.write(str(os.getpid()))
+    return [gated_child.remote(i, gate_path) for i in range(count)]
+
+
+def _worker_index_for_pid(runtime, pid):
+    for worker in runtime._workers:
+        if worker is not None and worker.alive and worker.process.pid == pid:
+            return worker.index
+    raise RuntimeError(f"no live worker with pid {pid}")
+
+
+class TestBottomUpCrash:
+    def test_local_queue_rehomes_on_worker_crash(self, tmp_path):
+        """kill_worker while fast-path tasks sit in the victim's local
+        queue: the driver's mirror re-homes every one of them (replayed
+        under the max_reconstructions budget) and all values arrive."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        gate = str(tmp_path / "gate")
+        refs = repro.get(
+            gated_spawner.remote(6, gate, str(tmp_path / "pid")), timeout=60.0
+        )
+        # The only worker is now executing child 0 (blocked on the gate)
+        # with children 1..5 in its local queue; the driver knows them
+        # only through SUBMIT_LOCAL notices.
+        assert runtime.stats()["sched"]["tasks_placed_local"] == 6
+        runtime.kill_worker(0)
+        open(gate, "w").close()
+        assert repro.get(refs, timeout=60.0) == [i * 10 for i in range(6)]
+        stats = runtime.stats()
+        assert stats["workers_crashed"] == 1
+        # Every child died with the worker (one mid-run, five queued) and
+        # came back through the lineage-replay gate.
+        assert stats["lineage_replays"] == 6
+
+    def test_crash_with_steal_in_flight_loses_nothing(self, tmp_path):
+        """kill the fan-out worker while an idle peer is actively
+        stealing from it: granted tasks run on the thief, ungranted ones
+        re-home from the mirror — each child exactly once observably."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        gate = str(tmp_path / "gate")
+        pid_path = str(tmp_path / "pid")
+        refs = repro.get(
+            gated_spawner.remote(8, gate, pid_path), timeout=60.0
+        )
+        with open(pid_path) as handle:
+            victim = _worker_index_for_pid(runtime, int(handle.read()))
+        # Give the idle peer a moment to issue steals against the gated
+        # backlog, then kill the victim mid-flight.
+        time.sleep(0.2)
+        runtime.kill_worker(victim)
+        open(gate, "w").close()
+        assert repro.get(refs, timeout=60.0) == [i * 10 for i in range(8)]
+        stats = runtime.stats()
+        assert stats["workers_crashed"] == 1
+        assert stats["sched"]["tasks_placed_local"] == 8
+
+    def test_replay_budget_still_applies_to_queued_local_tasks(self, tmp_path):
+        """A fast-path task whose worker dies is a lineage replay like
+        any other: with max_reconstructions=0 the crash is fatal for it."""
+        runtime = repro.init(backend="proc", num_workers=1)
+        gate = str(tmp_path / "gate")
+
+        @repro.remote
+        def fragile_spawner(gate_path):
+            return [
+                gated_child.options(max_reconstructions=0).remote(i, gate_path)
+                for i in range(3)
+            ]
+
+        refs = repro.get(fragile_spawner.remote(gate), timeout=60.0)
+        runtime.kill_worker(0)
+        open(gate, "w").close()
+        for ref in refs:
+            with pytest.raises(WorkerCrashedError, match="budget exhausted"):
+                repro.get(ref, timeout=60.0)
+        # The healed pool keeps serving fresh work.
+        assert repro.get(proc_noop.remote(), timeout=60.0) == 1

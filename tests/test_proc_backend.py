@@ -15,7 +15,7 @@ import pytest
 
 import repro
 from repro.core.backend import Backend, backend_capabilities, registered_backends
-from repro.errors import BackendError
+from repro.errors import BackendError, TaskCancelledError
 from repro.shm.segment import shm_available
 from repro.utils.serialization import DEFAULT_INLINE_THRESHOLD, should_inline
 
@@ -477,3 +477,201 @@ def test_stats_shape():
         assert stats["results_shipped"]["count"] == 4
     finally:
         repro.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The bottom-up scheduling plane (dispatch_mode="bottom_up")
+# ----------------------------------------------------------------------
+
+
+@repro.remote
+def sched_noop(x):
+    return x + 1
+
+
+@repro.remote
+def sched_fan(n):
+    """Worker-born fan-out whose children have no unresolved deps: every
+    child is eligible for the zero-round-trip fast path."""
+    return [sched_noop.remote(i) for i in range(n)]
+
+
+@repro.remote
+def sched_chain_fan(n):
+    """Children depending on sibling futures: ineligible for the fast
+    path (deps unresolved at submit time), so they must spill."""
+    refs = [sched_noop.remote(0)]
+    for _ in range(n - 1):
+        refs.append(sched_noop.remote(refs[-1]))
+    return refs
+
+
+@repro.remote
+def write_evidence(path, x):
+    with open(path, "w") as handle:
+        handle.write("ran")
+    return x
+
+
+@repro.remote
+def gated_fan(count, gate_path, evidence_dir):
+    """Child 0 blocks on the gate; the rest — evidence-writing tasks —
+    sit in the local queue behind it."""
+
+    @repro.remote
+    def block_on(path):
+        while not os.path.exists(path):
+            time.sleep(0.01)
+        return "unblocked"
+
+    refs = [block_on.remote(gate_path)]
+    refs.extend(
+        write_evidence.remote(os.path.join(evidence_dir, f"t{i}"), i)
+        for i in range(count)
+    )
+    return refs
+
+
+def test_dispatch_mode_validated_and_reported():
+    with pytest.raises(BackendError, match="dispatch_mode"):
+        repro.init(backend="proc", num_workers=1, dispatch_mode="sideways")
+    assert backend_capabilities("proc").bottom_up_scheduling
+    assert backend_capabilities("local").bottom_up_scheduling
+    for mode in ("driver", "bottom_up"):
+        runtime = repro.init(backend="proc", num_workers=1, dispatch_mode=mode)
+        try:
+            assert runtime.stats()["dispatch_mode"] == mode
+        finally:
+            repro.shutdown()
+
+
+class TestBottomUpScheduling:
+    def test_fast_path_counts_and_zero_spill(self):
+        """A dependency-free nested fan-out rides the fast path: every
+        child is placed locally, none spill through the driver."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        try:
+            refs = repro.get(sched_fan.remote(12), timeout=60.0)
+            assert sorted(repro.get(refs, timeout=60.0)) == list(range(1, 13))
+            sched = runtime.stats()["sched"]
+            assert sched["tasks_placed_local"] == 12
+            assert sched["tasks_spilled"] == 0
+        finally:
+            repro.shutdown()
+
+    def test_unresolved_deps_spill_to_the_driver_tier(self):
+        """Nested submissions depending on sibling futures cannot take
+        the fast path; they spill and still compute correctly."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        try:
+            refs = repro.get(sched_chain_fan.remote(5), timeout=60.0)
+            assert repro.get(refs[-1], timeout=60.0) == 5
+            sched = runtime.stats()["sched"]
+            assert sched["tasks_spilled"] >= 4  # the dependent children
+        finally:
+            repro.shutdown()
+
+    def test_idle_worker_steals_from_busy_fanout(self):
+        """Work stealing spreads a locally-kept fan-out across the pool:
+        with two workers, the idle one must execute some of the children
+        born on the other.  The children sleep long enough that the
+        victim provably cannot drain the queue before the thief's
+        request lands (the steal backstop fires every 0.2s)."""
+
+        @repro.remote
+        def slow_fan(n):
+            @repro.remote
+            def dawdle(i):
+                time.sleep(0.05)
+                return i
+
+            return [dawdle.remote(i) for i in range(n)]
+
+        runtime = repro.init(backend="proc", num_workers=2)
+        try:
+            refs = repro.get(slow_fan.remote(12), timeout=60.0)
+            assert sorted(repro.get(refs, timeout=60.0)) == list(range(12))
+            sched = runtime.stats()["sched"]
+            assert sched["tasks_placed_local"] == 12
+            assert sched["tasks_stolen"] > 0
+        finally:
+            repro.shutdown()
+
+    def test_blocked_single_worker_self_recovers(self):
+        """driver mode's known limit: a worker blocked in get() on its
+        own nested tasks starves without spare workers.  The bottom-up
+        plane unwedges it — self-steal re-homes the local queue and the
+        service thread injects the tasks back reentrantly."""
+        repro.init(backend="proc", num_workers=1)
+        try:
+            @repro.remote
+            def blocking_spawner(n):
+                refs = [sched_noop.remote(i) for i in range(n)]
+                values = yield repro.Get(refs)
+                return sum(values)
+
+            assert repro.get(blocking_spawner.remote(4), timeout=60.0) == 10
+        finally:
+            repro.shutdown()
+
+    def test_cancel_in_local_queue_provably_never_runs(self, tmp_path):
+        """Dispatch-time drop inside a worker: cancelling a task that
+        sits in a worker's local queue tombstones it via CANCEL_NOTICE
+        before the gate opens, so its side-effect sentinel never
+        appears.  Pipe FIFO makes this deterministic: the notice is
+        queued before the gate file exists."""
+        repro.init(backend="proc", num_workers=1)
+        try:
+            gate = str(tmp_path / "gate")
+            evidence = tmp_path / "evidence"
+            evidence.mkdir()
+            refs = repro.get(
+                gated_fan.remote(3, gate, str(evidence)), timeout=60.0
+            )
+            doomed = refs[2]  # queued behind the gate-blocked child
+            assert repro.cancel(doomed) is True
+            open(gate, "w").close()
+            assert repro.get(refs[0], timeout=60.0) == "unblocked"
+            assert repro.get(refs[1], timeout=60.0) == 0
+            assert repro.get(refs[3], timeout=60.0) == 2
+            with pytest.raises(TaskCancelledError):
+                repro.get(doomed, timeout=60.0)
+            assert (evidence / "t0").exists()
+            assert (evidence / "t2").exists()
+            assert not (evidence / "t1").exists()  # the cancelled child
+        finally:
+            repro.shutdown()
+
+    def test_locality_aware_placement_prefers_resident_worker(self):
+        """Driver-tier placement scores residency: after one worker has
+        fetched a large argument, further tasks over the same argument
+        prefer that worker (placement_locality_hits counts them)."""
+        runtime = repro.init(backend="proc", num_workers=2)
+        try:
+            big = repro.put(list(range(50_000)))  # far above inline
+            for _ in range(4):
+                assert repro.get(payload_len.remote(big), timeout=60.0) == 50_000
+            sched = runtime.stats()["sched"]
+            assert sched["placement_locality_hits"] >= 1
+        finally:
+            repro.shutdown()
+
+    def test_driver_mode_keeps_zero_plane_counters(self):
+        """The ablation baseline really is the old path: no fast-path
+        placements, no steals, no spill accounting."""
+        runtime = repro.init(
+            backend="proc", num_workers=2, dispatch_mode="driver"
+        )
+        try:
+            refs = repro.get(sched_fan.remote(8), timeout=60.0)
+            repro.get(refs, timeout=60.0)
+            sched = runtime.stats()["sched"]
+            assert sched == {
+                "tasks_placed_local": 0,
+                "tasks_spilled": 0,
+                "tasks_placed_global": 0,
+                "tasks_stolen": 0,
+                "placement_locality_hits": 0,
+            }
+        finally:
+            repro.shutdown()
