@@ -1,0 +1,199 @@
+"""E10 — serving-plane SLO: sustained QPS, tail latency, batching gain.
+
+The HotOS paper's motivating loop closes with *serving*: a trained policy
+must answer a stream of small requests under a latency budget
+("millisecond-level" end-to-end, section 2).  This bench drives the new
+serve plane (ActorPool + micro-batching + async completion pump) on the
+proc backend and asserts the PR's acceptance bar directly:
+
+* an open-loop paced feeder sustains >= 1,000 QPS of small actor calls
+  with an asserted p99 latency SLO, and
+* micro-batching delivers >= 2x closed-loop throughput over an unbatched
+  pool at equal replica count.
+
+Both tests emit their numbers into ``BENCH_e10.json`` (repo root) via
+``emit_bench_json`` so CI can diff them against
+``benchmarks/baselines.json``.
+"""
+
+import time
+
+import repro
+from _artifacts import emit_bench_json
+from _tables import print_table
+
+#: Open-loop SLO probe: pace requests faster than the bar we must clear.
+SLO_REQUESTS = 4000
+SLO_OFFERED_QPS = 1500.0
+SLO_MIN_QPS = 1000.0
+SLO_P99_MS = 250.0
+SLO_REPLICAS = 4
+
+#: Closed-loop batched-vs-unbatched makespan at equal replica count.
+SPEEDUP_REQUESTS = 2000
+SPEEDUP_REPLICAS = 2
+SPEEDUP_BATCH = 16
+SPEEDUP_MIN = 2.0
+
+
+class Echo:
+    """The smallest useful replica: identity over a batch or a scalar."""
+
+    def __call__(self, value):
+        return value
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+def _run_slo_probe() -> dict:
+    repro.init(backend="proc", num_workers=SLO_REPLICAS)
+    pool = repro.ActorPool(
+        Echo,
+        size=SLO_REPLICAS,
+        max_batch_size=8,
+        batch_wait_ms=2.0,
+        routing="least_loaded",
+    )
+    # Warm every replica (process spawn + first code ship stay untimed).
+    for i in range(SLO_REPLICAS * 4):
+        assert pool.submit(i).result(timeout=60.0) == i
+
+    done_at = [0.0] * SLO_REQUESTS
+    submitted_at = [0.0] * SLO_REQUESTS
+
+    def _mark(idx):
+        def _cb(_future):
+            done_at[idx] = time.perf_counter()
+        return _cb
+
+    futures = []
+    start = time.perf_counter()
+    for i in range(SLO_REQUESTS):
+        # Open-loop pacing: hold the offered rate even if completions lag.
+        target = start + i / SLO_OFFERED_QPS
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        submitted_at[i] = time.perf_counter()
+        future = pool.submit(i)
+        future.add_done_callback(_mark(i))
+        futures.append(future)
+    results = [f.result(timeout=120.0) for f in futures]
+    end = time.perf_counter()
+
+    assert results == list(range(SLO_REQUESTS))
+    latencies_ms = sorted(
+        (done_at[i] - submitted_at[i]) * 1e3 for i in range(SLO_REQUESTS)
+    )
+    stats = pool.stats()
+    repro.shutdown()
+    assert stats["completed"] == SLO_REQUESTS + SLO_REPLICAS * 4
+    assert stats["failed"] == 0 and stats["shed"] == 0
+
+    return {
+        "qps_achieved": SLO_REQUESTS / (end - start),
+        "p50_ms": _percentile(latencies_ms, 0.50),
+        "p99_ms": _percentile(latencies_ms, 0.99),
+        "max_ms": latencies_ms[-1],
+        "batches": stats["batches"],
+        "largest_batch": stats["largest_batch"],
+    }
+
+
+def _closed_loop_makespan(max_batch_size: int) -> float:
+    repro.init(backend="proc", num_workers=SPEEDUP_REPLICAS)
+    pool = repro.ActorPool(
+        Echo,
+        size=SPEEDUP_REPLICAS,
+        max_batch_size=max_batch_size,
+        batch_wait_ms=1.0,
+    )
+    for i in range(SPEEDUP_REPLICAS * 4):  # warm
+        assert pool.submit(i).result(timeout=60.0) == i
+    start = time.perf_counter()
+    futures = [pool.submit(i) for i in range(SPEEDUP_REQUESTS)]
+    results = [f.result(timeout=120.0) for f in futures]
+    elapsed = time.perf_counter() - start
+    assert results == list(range(SPEEDUP_REQUESTS))
+    repro.shutdown()
+    return elapsed
+
+
+def test_e10_serving_slo(benchmark):
+    metrics = benchmark.pedantic(_run_slo_probe, rounds=1, iterations=1)
+
+    print_table(
+        f"E10: open-loop serving SLO ({SLO_REQUESTS} calls @ "
+        f"{SLO_OFFERED_QPS:.0f} QPS offered, {SLO_REPLICAS} replicas)",
+        ["metric", "value"],
+        [
+            ("achieved QPS", f"{metrics['qps_achieved']:,.0f}"),
+            ("p50 latency", f"{metrics['p50_ms']:.2f} ms"),
+            ("p99 latency", f"{metrics['p99_ms']:.2f} ms"),
+            ("max latency", f"{metrics['max_ms']:.2f} ms"),
+            ("batches", metrics["batches"]),
+            ("largest batch", metrics["largest_batch"]),
+        ],
+    )
+
+    # The acceptance bar from the issue: >= 1k QPS sustained with a p99 SLO.
+    assert metrics["qps_achieved"] >= SLO_MIN_QPS, (
+        f"sustained only {metrics['qps_achieved']:,.0f} QPS"
+    )
+    assert metrics["p99_ms"] <= SLO_P99_MS, (
+        f"p99 {metrics['p99_ms']:.1f} ms blew the {SLO_P99_MS:.0f} ms SLO"
+    )
+    # Micro-batching actually engaged under load.
+    assert metrics["largest_batch"] > 1
+
+    emitted = {
+        "qps_achieved": round(metrics["qps_achieved"]),
+        "p50_ms": round(metrics["p50_ms"], 3),
+        "p99_ms": round(metrics["p99_ms"], 3),
+        "largest_batch": metrics["largest_batch"],
+        "requests": SLO_REQUESTS,
+        "replicas": SLO_REPLICAS,
+    }
+    benchmark.extra_info.update(emitted)
+    emit_bench_json("e10", emitted)
+
+
+def test_e10_batching_speedup(benchmark):
+    def _sweep():
+        return {
+            "unbatched": _closed_loop_makespan(1),
+            "batched": _closed_loop_makespan(SPEEDUP_BATCH),
+        }
+
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    speedup = sweep["unbatched"] / sweep["batched"]
+
+    print_table(
+        f"E10: closed-loop makespan, {SPEEDUP_REQUESTS} calls x "
+        f"{SPEEDUP_REPLICAS} replicas",
+        ["mode", "makespan", "throughput"],
+        [
+            ("unbatched", f"{sweep['unbatched'] * 1e3:.1f} ms",
+             f"{SPEEDUP_REQUESTS / sweep['unbatched']:,.0f} calls/s"),
+            (f"batched x{SPEEDUP_BATCH}", f"{sweep['batched'] * 1e3:.1f} ms",
+             f"{SPEEDUP_REQUESTS / sweep['batched']:,.0f} calls/s"),
+        ],
+    )
+    print(f"batching speedup: {speedup:.2f}x")
+
+    assert speedup >= SPEEDUP_MIN, (
+        f"batching only bought {speedup:.2f}x (need {SPEEDUP_MIN:.1f}x)"
+    )
+
+    emitted = {
+        "batched_speedup": round(speedup, 2),
+        "batched_qps": round(SPEEDUP_REQUESTS / sweep["batched"]),
+        "unbatched_qps": round(SPEEDUP_REQUESTS / sweep["unbatched"]),
+    }
+    benchmark.extra_info.update(emitted)
+    emit_bench_json("e10", emitted)

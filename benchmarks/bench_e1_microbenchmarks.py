@@ -17,6 +17,7 @@ import time
 import pytest
 
 import repro
+from _artifacts import emit_bench_json
 from _tables import print_table, us
 from repro.shm.segment import shm_available
 
@@ -137,6 +138,9 @@ def test_e1_microbenchmarks(benchmark):
     )
     benchmark.extra_info.update(
         {f"threaded_{k}_us": v * 1e6 for k, v in threaded.items()}
+    )
+    emit_bench_json(
+        "e1", {k: round(v, 2) for k, v in benchmark.extra_info.items()}
     )
 
     # Shape assertions (the paper's orderings, not absolute numbers):
@@ -268,6 +272,7 @@ def test_e1_large_object_data_plane(benchmark):
     benchmark.extra_info.update(
         {f"shm_{op}_ms": round(shm[op] * 1e3, 2) for op in operations}
     )
+    emit_bench_json("e1", dict(benchmark.extra_info))
 
     # The data plane really engaged (no silent pipe fallback)...
     assert shm["stats"]["shm_hits"] > 0

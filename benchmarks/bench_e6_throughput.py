@@ -15,6 +15,7 @@ import os
 import time
 
 import repro
+from _artifacts import emit_bench_json
 from _tables import print_table
 
 NUM_SPAWNERS = 16
@@ -92,6 +93,7 @@ def test_e6_throughput_scaling(benchmark):
     benchmark.extra_info.update(
         {name: round(r["throughput"]) for name, r in sweep.items()}
     )
+    emit_bench_json("e6", dict(benchmark.extra_info))
 
     # Shape: sharding buys throughput until the scheduler is the
     # bottleneck; the hybrid architecture beats the centralized one.
@@ -169,6 +171,7 @@ def test_e6_proc_true_parallelism(benchmark):
     benchmark.extra_info.update(
         {name: round(r["throughput"], 2) for name, r in sweep.items()}
     )
+    emit_bench_json("e6", dict(benchmark.extra_info))
 
     speedup = (
         sweep[f"workers/{wide}"]["throughput"] / sweep["workers/1"]["throughput"]
@@ -255,6 +258,7 @@ def test_e6_proc_shm_heavy_payload_throughput(benchmark):
     benchmark.extra_info.update(
         {f"{name}_mb_s": round(r["bandwidth"] / 1e6) for name, r in sweep.items()}
     )
+    emit_bench_json("e6", dict(benchmark.extra_info))
     assert sweep["shm"]["throughput"] > sweep["pipe"]["throughput"], (
         "the shm data plane should beat the pipe on 1 MB results"
     )
@@ -372,6 +376,7 @@ def test_e6_proc_nested_bottom_up_beats_driver_dispatch(benchmark):
             "submit_latency_gain": round(latency_gain, 2),
         }
     )
+    emit_bench_json("e6", dict(benchmark.extra_info))
     # The fast path really ran (zero driver round-trips per child; the
     # warm-up fan-outs ride it too, hence >=)...
     assert (

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Compare BENCH_*.json artifacts against benchmarks/baselines.json.
+
+Usage::
+
+    python benchmarks/check_regression.py [name ...]
+
+With no arguments every bench named in the baseline file is checked.
+For each named bench the checker loads ``BENCH_<name>.json`` from the
+repo root and enforces ``min``/``max`` bounds on the metric keys both
+sides share.  A missing artifact or metric key is reported but only
+fails the run when the bench was requested explicitly — CI asks for the
+benches it just ran, so a skipped/absent bench elsewhere cannot mask a
+regression there.
+
+Exit status: 0 clean, 1 on any bound violation (or a missing artifact
+for an explicitly requested bench).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES = Path(__file__).resolve().parent / "baselines.json"
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def check(names: list[str] | None = None) -> int:
+    baselines = _load(BASELINES)
+    explicit = names is not None
+    targets = names if explicit else sorted(baselines)
+    failures: list[str] = []
+    checked = 0
+
+    for name in targets:
+        bounds = baselines.get(name)
+        if bounds is None:
+            failures.append(f"{name}: no entry in {BASELINES.name}")
+            continue
+        artifact = REPO_ROOT / f"BENCH_{name}.json"
+        if not artifact.exists():
+            msg = f"{name}: artifact {artifact.name} not found"
+            if explicit:
+                failures.append(msg)
+            else:
+                print(f"skip  {msg}")
+            continue
+        metrics = _load(artifact).get("metrics", {})
+        for key, floor in bounds.get("min", {}).items():
+            if key not in metrics:
+                print(f"warn  {name}.{key}: not in artifact (min bound unchecked)")
+                continue
+            checked += 1
+            if metrics[key] < floor:
+                failures.append(f"{name}.{key} = {metrics[key]} < min {floor}")
+            else:
+                print(f"ok    {name}.{key} = {metrics[key]} >= {floor}")
+        for key, ceiling in bounds.get("max", {}).items():
+            if key not in metrics:
+                print(f"warn  {name}.{key}: not in artifact (max bound unchecked)")
+                continue
+            checked += 1
+            if metrics[key] > ceiling:
+                failures.append(f"{name}.{key} = {metrics[key]} > max {ceiling}")
+            else:
+                print(f"ok    {name}.{key} = {metrics[key]} <= {ceiling}")
+
+    for failure in failures:
+        print(f"FAIL  {failure}")
+    print(f"{checked} bound(s) checked, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1:] or None))

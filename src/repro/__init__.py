@@ -42,12 +42,14 @@ from repro.api import (
     ActorClass,
     ActorHandle,
     ActorOptions,
+    ActorPool,
     RemoteFunction,
     TaskOptions,
     as_completed,
     cancel,
     get,
     get_actor,
+    get_async,
     get_runtime,
     init,
     is_initialized,
@@ -71,6 +73,7 @@ from repro.core.object_ref import ObjectRef
 from repro.errors import (
     ActorLostError,
     BackendError,
+    Backpressure,
     GetTimeoutError,
     ObjectLostError,
     ReproError,
@@ -94,7 +97,9 @@ __all__ = [
     "ActorOptions",
     "ActorClass",
     "ActorHandle",
+    "ActorPool",
     "get",
+    "get_async",
     "wait",
     "put",
     "cancel",
@@ -120,5 +125,6 @@ __all__ = [
     "TaskCancelledError",
     "ActorLostError",
     "WorkerCrashedError",
+    "Backpressure",
     "__version__",
 ]

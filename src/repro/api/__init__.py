@@ -126,6 +126,41 @@ successor systems' extensions (6–8):
     0
     >>> repro.shutdown()
 
+11. a **high-QPS serving plane** sits on top of the model
+    (:mod:`repro.serve`): ``ref.future()`` / ``await
+    repro.get_async(ref)`` resolve futures event-driven off the
+    runtime's completion pump (one daemon thread, not one blocking
+    ``get`` per call), and :class:`~repro.serve.ActorPool` puts N
+    replicas of an actor behind one handle with pluggable routing
+    (``round_robin`` / ``least_loaded``), automatic micro-batching
+    (coalesce up to ``max_batch_size`` calls within ``batch_wait_ms``
+    into one vectorized invocation, split back per-call via
+    ``num_returns``), queue-depth admission control
+    (``Backpressure`` under ``admission="shed"``, caller blocking
+    under ``"block"``), and in-place replica respawn on worker loss.
+    The sim backend runs a synchronous deterministic mirror of the
+    same surface:
+
+    >>> import asyncio, repro
+    >>> runtime = repro.init(backend="local", num_nodes=2, num_cpus=2)
+    >>> @repro.remote
+    ... class Doubler:
+    ...     def __call__(self, batch):      # vectorized: list in, list out
+    ...         return [2 * x for x in batch]
+    >>> pool = repro.ActorPool(Doubler, size=2, max_batch_size=4,
+    ...                        batch_wait_ms=1.0, routing="least_loaded")
+    >>> futures = [pool.submit(i) for i in range(6)]
+    >>> [f.result(timeout=30.0) for f in futures]
+    [0, 2, 4, 6, 8, 10]
+    >>> pool.stats()["shed"]
+    0
+    >>> @repro.remote
+    ... def square(x):
+    ...     return x * x
+    >>> asyncio.run(repro.get_async(square.remote(7), timeout=30.0))
+    49
+    >>> repro.shutdown()
+
 All of it runs identically on every registered backend; see
 :mod:`repro.core.backend`.
 """
@@ -136,6 +171,7 @@ from repro.api.runtime_context import (
     cancel,
     get,
     get_actor,
+    get_async,
     get_runtime,
     init,
     is_initialized,
@@ -147,6 +183,7 @@ from repro.api.runtime_context import (
 )
 from repro.core.actors import ActorClass, ActorHandle, ActorMethod, ActorOptions
 from repro.core.task import TaskOptions
+from repro.serve import ActorPool
 
 __all__ = [
     "init",
@@ -161,6 +198,7 @@ __all__ = [
     "ActorHandle",
     "ActorMethod",
     "get",
+    "get_async",
     "wait",
     "put",
     "cancel",
@@ -168,4 +206,5 @@ __all__ = [
     "as_completed",
     "sleep",
     "now",
+    "ActorPool",
 ]

@@ -109,6 +109,20 @@ def get(refs: Any, timeout: Optional[float] = None) -> Any:
     return get_runtime().get(refs, timeout=timeout)
 
 
+async def get_async(refs: Any, timeout: Optional[float] = None) -> Any:
+    """``await``-able :func:`get`: resolve ref(s) without blocking the loop.
+
+    Event-driven on the real backends — completion arrives from the
+    runtime's pump thread, so thousands of ``get_async`` coroutines
+    share one driver thread.  On the sim backend this degrades to the
+    deterministic blocking ``get``.  Raises
+    :class:`repro.errors.GetTimeoutError` on timeout, like ``get``.
+    """
+    from repro.serve.async_api import get_async as _get_async
+
+    return await _get_async(refs, timeout=timeout)
+
+
 def wait(
     refs: Sequence[ObjectRef],
     num_returns: int = 1,

@@ -221,16 +221,33 @@ def build_call_spec(
     args: tuple,
     kwargs: dict,
     submitted_from: Optional[NodeID],
+    num_returns: int = 1,
 ) -> TaskSpec:
-    """One method-call task, chained on the actor's previous submission."""
+    """One method-call task, chained on the actor's previous submission.
+
+    ``num_returns=k`` allocates k return objects exactly like stateless
+    multi-return tasks: the method must return a sequence of k values,
+    each stored under its own ref.  The serving plane's micro-batcher is
+    built on this — one vectorized invocation fans back out into one ref
+    per coalesced call.  Chaining stays on the primary (first) ref, so
+    the actor's total order is unaffected by how many refs a call has.
+    """
+    if not isinstance(num_returns, int) or num_returns < 1:
+        raise ValueError(
+            f"invalid num_returns={num_returns!r} for actor call "
+            f"{record.class_name}.{method_name}: must be an int >= 1"
+        )
     extra = (record.last_call_ref,) if record.last_call_ref is not None else ()
+    return_ids = tuple(ids.object_id() for _ in range(num_returns))
     return TaskSpec(
         task_id=ids.task_id(),
         function_id=ids.function_id(),
         function_name=f"{record.class_name}.{method_name}",
         args=tuple(args),
         kwargs=dict(kwargs),
-        return_object_id=ids.object_id(),
+        return_object_id=return_ids[0],
+        return_object_ids=return_ids,
+        num_returns=num_returns,
         resources=record.resources,
         submitted_from=submitted_from,
         placement_hint=record.node_id,
@@ -361,20 +378,32 @@ def public_methods(cls: type) -> tuple[str, ...]:
 class ActorMethod:
     """One bound method slot on a handle; ``.remote(...)`` submits a call."""
 
-    def __init__(self, handle: "ActorHandle", method_name: str) -> None:
+    def __init__(
+        self, handle: "ActorHandle", method_name: str, num_returns: int = 1
+    ) -> None:
         self._handle = handle
         self._method_name = method_name
+        self._num_returns = num_returns
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ActorMethod({self._handle.class_name}.{self._method_name})"
 
-    def remote(self, *args: Any, **kwargs: Any) -> ObjectRef:
-        """Submit one method invocation; returns its future immediately."""
+    def options(self, num_returns: int = 1) -> "ActorMethod":
+        """Per-call override, mirroring ``fn.options(...)``:
+        ``handle.method.options(num_returns=k).remote(...)`` makes the
+        call return a tuple of k independently consumable refs (the
+        method must return a sequence of k values)."""
+        return ActorMethod(self._handle, self._method_name, num_returns)
+
+    def remote(self, *args: Any, **kwargs: Any):
+        """Submit one method invocation; returns its future immediately
+        (a tuple of futures under ``options(num_returns=k)``)."""
         from repro.api import runtime_context
 
         runtime = runtime_context.get_runtime()
         return runtime.call_actor(
-            self._handle.actor_id, self._method_name, args, kwargs
+            self._handle.actor_id, self._method_name, args, kwargs,
+            num_returns=self._num_returns,
         )
 
 

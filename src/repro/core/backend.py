@@ -155,7 +155,8 @@ class Backend(Protocol):
         method_name: str,
         args: tuple,
         kwargs: dict,
-    ) -> ObjectRef: ...
+        num_returns: int = 1,
+    ) -> Any: ...
 
     def get_actor(self, name: str) -> Any: ...
 

@@ -23,3 +23,16 @@ class ObjectRef:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ObjectRef({self.object_id.hex[:10]})"
+
+    def future(self):
+        """A ``concurrent.futures.Future`` resolving to this ref's value.
+
+        Event-driven on backends that expose completion watching (local,
+        proc): one daemon pump thread resolves every outstanding future,
+        so a single driver thread can multiplex thousands of in-flight
+        calls without a blocking ``get`` per ref.  See
+        :func:`repro.serve.async_api.future_for`.
+        """
+        from repro.serve.async_api import future_for
+
+        return future_for(self)

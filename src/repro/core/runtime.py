@@ -29,6 +29,7 @@ from repro.core.actors import (
     get_actor_handle,
     handle_for,
 )
+from repro.core.completion import serve_stats
 from repro.core.driver import Driver
 from repro.core.lifecycle import LifecycleIndex, cancelled_error_value
 from repro.core.object_ref import ObjectRef
@@ -183,6 +184,10 @@ class SimRuntime:
         self.actors = ActorRegistry()
         self._lifecycle = LifecycleIndex()
         self._worker_context_stack: list[WorkerContext] = []
+        #: Live ActorPools (repro.serve), for stats()["serve"].  The sim
+        #: backend has no completion pump — it is single-threaded — so
+        #: the serving layer resolves synchronously and deterministically.
+        self._serve_pools: list = []
         self.driver = Driver(self)
 
     # ------------------------------------------------------------------
@@ -394,8 +399,10 @@ class SimRuntime:
         method_name: str,
         args: tuple,
         kwargs: dict,
-    ) -> ObjectRef:
-        """Submit one actor method invocation; returns its future.
+        num_returns: int = 1,
+    ) -> Any:
+        """Submit one actor method invocation; returns its future
+        (a tuple of ``num_returns`` futures when more than one).
 
         Ordering is structural: the spec depends on the previous call's
         result object, so method tasks of one actor can never interleave.
@@ -408,10 +415,12 @@ class SimRuntime:
         spec = build_call_spec(
             self.ids, record, method_name, args, kwargs,
             context.node_id if context else self.head_node_id,
+            num_returns=num_returns,
         )
         chain_submission(record, spec)
         self._lifecycle.register(spec)
-        return self._submit_spec(spec, context)
+        self._submit_spec(spec, context)
+        return spec.public_result()
 
     def get(self, refs: Any, timeout: Optional[float] = None) -> Any:
         self._check_open()
@@ -804,7 +813,18 @@ class SimRuntime:
             "nodes_declared_dead": len(self.monitor.nodes_declared_dead),
             "actors_created": len(self.actors),
             "tasks_cancelled": self._lifecycle.cancelled_count,
+            "serve": serve_stats(self._serve_pools),
         }
 
+    def replica_targets(self) -> list:
+        """Placement targets for serving-pool replicas (every node)."""
+        return list(self.node_ids)
+
+    def register_serve_pool(self, pool) -> None:
+        """An ActorPool bound itself to this runtime (stats visibility)."""
+        self._serve_pools.append(pool)
+
     def shutdown(self) -> None:
+        for pool in self._serve_pools:
+            pool.close()
         self.closed = True

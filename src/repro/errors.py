@@ -137,3 +137,20 @@ class ActorLostError(ReproError):
         if detail:
             message = f"{message}: {detail}"
         super().__init__(message)
+
+
+class Backpressure(ReproError):
+    """Admission control rejected a serving-plane submission.
+
+    Raised by :meth:`repro.serve.ActorPool.submit` when the pool's
+    in-flight depth is at ``max_queue_depth`` and the admission policy is
+    ``"shed"`` — the serving plane's explicit load-shedding signal.  The
+    caller owns the retry decision; nothing was enqueued and nothing will
+    complete for the rejected call.
+    """
+
+    def __init__(self, detail: str = "") -> None:
+        message = "serving queue full: submission shed by admission control"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)

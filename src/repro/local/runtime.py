@@ -35,6 +35,7 @@ from repro.core.actors import (
     register_instance,
     resolve_actor_callable,
 )
+from repro.core.completion import CompletionPump, serve_stats
 from repro.core.dependencies import DependencyTracker
 from repro.core.effect_driver import EffectHandler, run_effect_loop_sync
 from repro.core.lifecycle import LifecycleIndex, cancelled_error_value
@@ -162,6 +163,10 @@ class LocalRuntime:
         self._lifecycle = LifecycleIndex()
         self._tls = threading.local()
         self._effect_handler = _LocalEffectHandler(self)
+        #: Event-driven completion notifications (repro.serve): watchers
+        #: registered under the lock, callbacks dispatched outside it.
+        self._completions = CompletionPump("repro-local-completions")
+        self._serve_pools: list = []
 
         self.node_ids: list[NodeID] = []
         self._nodes: dict[NodeID, _Node] = {}
@@ -296,8 +301,10 @@ class LocalRuntime:
         method_name: str,
         args: tuple,
         kwargs: dict,
-    ) -> ObjectRef:
-        """Submit one actor method invocation; returns its future.
+        num_returns: int = 1,
+    ) -> Any:
+        """Submit one actor method invocation; returns its future
+        (a tuple of ``num_returns`` futures when more than one).
 
         The ordering dependency on the previous call's result object is
         what serializes the actor's methods — no per-actor lock exists.
@@ -308,10 +315,12 @@ class LocalRuntime:
             if record is None:
                 raise BackendError(f"unknown actor {actor_id}")
             spec = build_call_spec(
-                self.ids, record, method_name, args, kwargs, self._current_node_id()
+                self.ids, record, method_name, args, kwargs,
+                self._current_node_id(), num_returns=num_returns,
             )
             chain_submission(record, spec)
-        return self._submit_spec(spec)
+        self._submit_spec(spec)
+        return spec.public_result()
 
     # ------------------------------------------------------------------
     # Blocking primitives
@@ -379,6 +388,7 @@ class LocalRuntime:
                 self._objects[object_id] = data
                 for waiting in self._deps.mark_ready(object_id):
                     self._enqueue_runnable(waiting)
+                self._completions.notify(object_id)
         self._ready_cond.notify_all()
 
     def _parked_dependents(self, object_id: ObjectID) -> list:
@@ -402,11 +412,23 @@ class LocalRuntime:
                 "tasks_cancelled": self._lifecycle.cancelled_count,
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
+                "serve": serve_stats(self._serve_pools, self._completions),
             }
+
+    def replica_targets(self) -> list:
+        """Placement targets for serving-pool replicas (every node)."""
+        return list(self.node_ids)
+
+    def register_serve_pool(self, pool) -> None:
+        """An ActorPool bound itself to this runtime (stats visibility)."""
+        with self._lock:
+            self._serve_pools.append(pool)
 
     def shutdown(self) -> None:
         if self.closed:
             return
+        for pool in list(self._serve_pools):
+            pool.close()
         self.closed = True
         for node in self._nodes.values():
             for _ in node.threads:
@@ -414,6 +436,9 @@ class LocalRuntime:
         for node in self._nodes.values():
             for thread in node.threads:
                 thread.join(timeout=2.0)
+        # Fire any still-pending watches (their callbacks observe the
+        # closed runtime and fail their requests) and stop the pump.
+        self._completions.stop()
 
     # ------------------------------------------------------------------
     # Scheduling internals (lock held unless noted)
@@ -503,12 +528,22 @@ class LocalRuntime:
                 index += 1
 
     def _store_object(self, object_id: ObjectID, data: bytes) -> None:
-        """Insert an object and wake dependents/waiters."""
+        """Insert an object and wake dependents/waiters/watchers."""
         with self._ready_cond:
             self._objects[object_id] = data
             for spec in self._deps.mark_ready(object_id):
                 self._enqueue_runnable(spec)
+            self._completions.notify(object_id)
             self._ready_cond.notify_all()
+
+    def watch_object(self, object_id: ObjectID, callback) -> None:
+        """Event-driven completion: ``callback(object_id)`` fires exactly
+        once, on the pump thread, when the object is (or already was)
+        resident — the serving plane's alternative to a blocked ``get``."""
+        with self._lock:
+            self._completions.add_watch(
+                object_id, callback, ready=object_id in self._objects
+            )
 
     def _wait_for_object(self, object_id: ObjectID, deadline: Optional[float]) -> bytes:
         with self._ready_cond:
@@ -610,6 +645,7 @@ class LocalRuntime:
                 self._objects[object_id] = data
                 for waiting in self._deps.mark_ready(object_id):
                     self._enqueue_runnable(waiting)
+                self._completions.notify(object_id)
             self._ready_cond.notify_all()
 
     def _resolve_args(self, spec: TaskSpec):

@@ -225,11 +225,14 @@ class WorkerRuntime:
         }
         return self._worker.rpc(msg.CREATE_ACTOR, payload)
 
-    def call_actor(self, actor_id, method_name: str, args, kwargs) -> ObjectRef:
+    def call_actor(
+        self, actor_id, method_name: str, args, kwargs, num_returns: int = 1
+    ) -> ObjectRef:
         payload = {
             "actor_id": actor_id,
             "method": method_name,
             "call_bytes": serialize_portable((tuple(args), dict(kwargs))),
+            "num_returns": num_returns,
         }
         return self._worker.rpc(msg.CALL_ACTOR, payload)
 

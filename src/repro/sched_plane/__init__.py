@@ -31,6 +31,7 @@ from repro.sched_plane.placement import (
     ResidencyTracker,
     WorkerCandidate,
     plan_placement,
+    spread_replicas,
 )
 from repro.sched_plane.queues import LocalTaskQueue
 
@@ -40,4 +41,5 @@ __all__ = [
     "ResidencyTracker",
     "WorkerCandidate",
     "plan_placement",
+    "spread_replicas",
 ]

@@ -92,3 +92,18 @@ def plan_placement(
             counters.placement_locality_hits += 1
             break
     return chosen
+
+
+def spread_replicas(targets: list, size: int) -> list:
+    """Placement hints spreading ``size`` pool replicas across ``targets``.
+
+    The serving plane's ActorPool wants its replicas on distinct
+    workers/nodes so one crash takes out one replica, not the pool —
+    round-robin over the live targets gives that whenever
+    ``size <= len(targets)`` and degrades to even stacking otherwise.
+    With no targets at all (a backend that does not expose them) every
+    hint is ``None`` and the runtime's own actor placement decides.
+    """
+    if not targets:
+        return [None] * size
+    return [targets[i % len(targets)] for i in range(size)]

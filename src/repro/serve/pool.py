@@ -1,0 +1,585 @@
+"""ActorPool: N replicas, one handle — routing, micro-batching, admission.
+
+The serving plane's aggregation primitive.  An :class:`ActorPool` wraps
+``size`` replicas of one actor class behind a single ``submit`` surface
+and composes the pieces a high-QPS serving tier needs:
+
+* **Routing** — ``round_robin`` (skip dead replicas) or ``least_loaded``
+  (per-replica queue depth, rotating-cursor tie-break so ties never
+  re-pick the same blocked replica).
+* **Micro-batching** — with ``max_batch_size > 1``, pending calls
+  coalesce for up to ``batch_wait_ms`` into one vectorized method
+  invocation (``method([v1..vk])`` returning a list of ``k`` results),
+  split back per-call through the runtime's ``num_returns`` machinery.
+* **Admission control** — ``max_queue_depth`` caps the pool's in-flight
+  depth; ``admission="shed"`` rejects the excess with
+  :class:`~repro.errors.Backpressure`, ``"block"`` applies the
+  backpressure to the submitting thread instead.
+* **Replica recovery** — a replica lost to a worker crash is respawned
+  in place (up to ``max_reconstructions`` per pool); its *unflushed*
+  queued calls re-home to the replacement, while calls already in
+  flight on the dead replica fail visibly with
+  :class:`~repro.errors.ActorLostError` — never silently dropped
+  (actor state is not replayable, per the paper's Section 3.2.1).
+
+On event-driven backends (local, proc) completion arrives via the
+runtime's completion pump and a single flusher thread owns the batch
+deadlines.  On the simulated backend the pool runs a synchronous
+mirror: no threads, batches flush when full (``batch_wait_ms`` has no
+meaning in virtual time) or when a result is demanded, so programs stay
+deterministic and backend-portable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+from repro.core.actors import ActorClass, ActorMethod
+from repro.core.object_ref import ObjectRef
+from repro.errors import ActorLostError, BackendError, Backpressure
+from repro.sched_plane import spread_replicas
+
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+ADMISSION_POLICIES = ("shed", "block")
+
+#: Backstop for the block-admission wait; completions notify the cond.
+_ADMISSION_WAIT_BACKSTOP = 0.1
+
+
+class ServeFuture(concurrent.futures.Future):
+    """The pool's per-call future.
+
+    Behaves exactly like ``concurrent.futures.Future`` (``result``,
+    ``exception``, ``done``, ``add_done_callback``) and is additionally
+    awaitable from asyncio.  On the simulated backend the future
+    carries a resolver that drives the virtual clock on first demand —
+    ``done()`` stays False there until a result is asked for.
+    """
+
+    _resolver = None  # sim mirror only; set by the owning pool
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._resolver is not None and not self.done():
+            self._resolver(self)
+        return super().result(timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        if self._resolver is not None and not self.done():
+            self._resolver(self)
+        return super().exception(timeout)
+
+    def __await__(self):
+        import asyncio
+
+        if self._resolver is not None and not self.done():
+            self._resolver(self)
+        return asyncio.wrap_future(self).__await__()
+
+
+class _Replica:
+    """One pool slot: a live handle plus its local serving state."""
+
+    __slots__ = (
+        "slot", "handle", "alive", "generation", "inflight",
+        "pending", "deadline",
+    )
+
+    def __init__(self, slot: int, handle: Any) -> None:
+        self.slot = slot
+        self.handle = handle
+        self.alive = True
+        #: Bumped on every loss so stale failure callbacks from a dead
+        #: incarnation can never kill (or double-respawn) its successor.
+        self.generation = 0
+        self.inflight = 0  # flushed calls not yet resolved
+        self.pending: deque = deque()  # (future, value) awaiting a batch
+        self.deadline: Optional[float] = None  # oldest pending's flush time
+
+    def depth(self) -> int:
+        return self.inflight + len(self.pending)
+
+
+class ActorPool:
+    """``size`` replicas of one actor class behind a single handle."""
+
+    def __init__(
+        self,
+        actor_class: Any,
+        size: int,
+        *,
+        method: str = "__call__",
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        routing: str = "round_robin",
+        max_batch_size: int = 1,
+        batch_wait_ms: float = 2.0,
+        max_queue_depth: Optional[int] = None,
+        admission: str = "shed",
+        max_reconstructions: int = 3,
+    ) -> None:
+        if not isinstance(size, int) or size < 1:
+            raise ValueError(f"pool size must be a positive int, got {size!r}")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {routing!r}; valid: {list(ROUTING_POLICIES)}"
+            )
+        if not isinstance(max_batch_size, int) or max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be a positive int, got {max_batch_size!r}"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission {admission!r}; "
+                f"valid: {list(ADMISSION_POLICIES)}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be None or >= 1, got {max_queue_depth!r}"
+            )
+        if batch_wait_ms < 0:
+            raise ValueError(f"batch_wait_ms must be >= 0, got {batch_wait_ms!r}")
+        if max_reconstructions < 0:
+            raise ValueError(
+                f"max_reconstructions must be >= 0, got {max_reconstructions!r}"
+            )
+
+        from repro.api import runtime_context
+
+        self._runtime = runtime_context.get_runtime()
+        factory = actor_class
+        if not isinstance(factory, ActorClass):
+            factory = ActorClass(factory)
+        self._factory = factory
+        self._method = method
+        self._init_args = tuple(args)
+        self._init_kwargs = dict(kwargs or {})
+        self._routing = routing
+        self._max_batch_size = max_batch_size
+        self._batch_wait = batch_wait_ms / 1000.0
+        self._max_queue_depth = max_queue_depth
+        self._admission = admission
+        self._max_reconstructions = max_reconstructions
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._cursor = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._respawns = 0
+        self._inflight_total = 0
+        self._dead_error: Optional[BaseException] = None
+        #: Event-driven mode: object_id -> (future, replica, generation,
+        #: unwrap-index or None).
+        self._inflight_map: dict = {}
+        #: Sim mirror: accepted-but-unresolved futures, oldest first.
+        self._order: deque = deque()
+
+        self._event_driven = callable(
+            getattr(self._runtime, "watch_object", None)
+        )
+        # Validate against the class, not the handle: dunders such as the
+        # default ``__call__`` are legal replica methods (the execution
+        # side resolves ``getattr(instance, method)``) even though handle
+        # attribute access hides them.
+        if not callable(getattr(factory.cls, method, None)):
+            raise ValueError(
+                f"actor {factory.name!r} has no callable method {method!r}"
+            )
+        hints = spread_replicas(self._replica_hints(), size)
+        self._replicas = [
+            _Replica(slot, self._spawn_handle(hints[slot]))
+            for slot in range(size)
+        ]
+
+        self._flusher: Optional[threading.Thread] = None
+        if self._event_driven and max_batch_size > 1:
+            self._flusher = threading.Thread(
+                target=self._flush_loop,
+                name=f"repro-serve-flusher-{factory.name}",
+                daemon=True,
+            )
+            self._flusher.start()
+
+        register = getattr(self._runtime, "register_serve_pool", None)
+        if callable(register):
+            register(self)
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle
+    # ------------------------------------------------------------------
+
+    def _replica_hints(self) -> list:
+        targets = getattr(self._runtime, "replica_targets", None)
+        return list(targets()) if callable(targets) else []
+
+    def _spawn_handle(self, hint: Any) -> Any:
+        factory = self._factory
+        if hint is not None:
+            factory = factory.options(placement_hint=hint)
+        return factory.remote(*self._init_args, **self._init_kwargs)
+
+    def _replica_lost(
+        self, replica: _Replica, generation: int, exc: BaseException
+    ) -> None:
+        """Respawn (or retire) a lost replica — pool lock held.
+
+        ``generation`` pins the failure to one incarnation: a burst of
+        in-flight failures from the same dead replica triggers exactly
+        one respawn, and a stale callback arriving after the respawn is
+        a no-op.
+        """
+        if replica.generation != generation or not replica.alive:
+            return
+        replica.generation += 1
+        replica.alive = False
+        replica.inflight = 0
+        if self._closed or self._respawns >= self._max_reconstructions:
+            # Budget exhausted: fail the replica's queued (unflushed)
+            # calls visibly rather than leaving them pending forever.
+            while replica.pending:
+                future, _value = replica.pending.popleft()
+                self._inflight_total -= 1
+                self._finish_locked(future, exc=exc)
+            replica.deadline = None
+            if not any(r.alive for r in self._replicas):
+                self._dead_error = exc
+            return
+        self._respawns += 1
+        replica.handle = self._spawn_handle(
+            spread_replicas(self._replica_hints(), len(self._replicas))[
+                replica.slot
+            ]
+        )
+        replica.alive = True
+        # Re-home: queued calls that never reached the dead incarnation
+        # flush to the replacement.
+        while replica.pending:
+            self._flush_replica_locked(replica)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, *args: Any, **kwargs: Any) -> ServeFuture:
+        """Route one call into the pool; returns its future immediately.
+
+        With ``max_batch_size == 1`` this is a plain per-call dispatch
+        and any signature goes.  With batching enabled a call is one
+        *batch element*: exactly one positional argument, no kwargs.
+        """
+        batching = self._max_batch_size > 1
+        if batching and (len(args) != 1 or kwargs):
+            raise TypeError(
+                "a batched ActorPool call takes exactly one positional "
+                f"argument (got args={args!r}, kwargs={kwargs!r}); the "
+                f"replica method receives the list of coalesced values"
+            )
+        with self._cond:
+            if self._closed:
+                raise BackendError("ActorPool is closed")
+            self._admit_locked()
+            replica = self._pick_replica_locked()
+            future = ServeFuture()
+            self._submitted += 1
+            self._inflight_total += 1
+            if not self._event_driven:
+                future._resolver = self._sim_resolve
+                self._order.append(future)
+            if batching:
+                replica.pending.append((future, args[0]))
+                future._replica = replica
+                if len(replica.pending) >= self._max_batch_size:
+                    self._flush_replica_locked(replica)
+                elif self._event_driven:
+                    if replica.deadline is None:
+                        replica.deadline = time.monotonic() + self._batch_wait
+                    self._cond.notify_all()  # wake the flusher
+                # Sim mirror: a partial batch waits for more calls or for
+                # the first result() demand — virtual time has no 2ms.
+            else:
+                self._dispatch_locked(
+                    replica,
+                    ActorMethod(replica.handle, self._method).remote(
+                        *args, **kwargs
+                    ),
+                    [future],
+                    unwrap=None,
+                )
+            return future
+
+    def map(self, values: Any, timeout: Optional[float] = None) -> list:
+        """Submit one call per value and collect results in order."""
+        futures = [self.submit(value) for value in values]
+        return [future.result(timeout) for future in futures]
+
+    def _admit_locked(self) -> None:
+        if self._max_queue_depth is None:
+            return
+        if self._inflight_total < self._max_queue_depth:
+            return
+        if self._admission == "shed":
+            self._shed += 1
+            raise Backpressure(
+                f"in-flight depth {self._inflight_total} at cap "
+                f"{self._max_queue_depth}"
+            )
+        # "block": apply the backpressure to the submitter.
+        while self._inflight_total >= self._max_queue_depth:
+            if self._closed:
+                raise BackendError("ActorPool closed while blocked on admission")
+            if self._event_driven:
+                self._cond.wait(timeout=_ADMISSION_WAIT_BACKSTOP)
+            else:
+                # Sim mirror: drain the oldest outstanding call — the
+                # deterministic equivalent of waiting for a completion.
+                if not self._order:
+                    raise BackendError(
+                        "ActorPool admission cap smaller than one batch"
+                    )
+                self._sim_resolve(self._order.popleft())
+
+    def _pick_replica_locked(self) -> _Replica:
+        n = len(self._replicas)
+        if self._routing == "round_robin":
+            for _ in range(n):
+                replica = self._replicas[self._cursor % n]
+                self._cursor += 1
+                if replica.alive:
+                    return replica
+        else:  # least_loaded
+            best = None
+            best_load = None
+            for offset in range(1, n + 1):
+                replica = self._replicas[(self._cursor + offset) % n]
+                if not replica.alive:
+                    continue
+                load = replica.depth()
+                if best is None or load < best_load:
+                    best, best_load = replica, load
+            if best is not None:
+                # Rotate the tie-break start so equal-load scans do not
+                # keep re-picking one (possibly blocked) replica.
+                self._cursor = best.slot
+                return best
+        raise self._dead_error or BackendError(
+            "ActorPool has no live replicas"
+        )
+
+    # ------------------------------------------------------------------
+    # Batch flushing and dispatch
+    # ------------------------------------------------------------------
+
+    def _flush_replica_locked(self, replica: _Replica) -> None:
+        """Submit one batch (up to ``max_batch_size``) from the queue."""
+        if not replica.pending:
+            replica.deadline = None
+            return
+        records = []
+        while replica.pending and len(records) < self._max_batch_size:
+            records.append(replica.pending.popleft())
+        replica.deadline = (
+            None
+            if not replica.pending
+            else time.monotonic() + self._batch_wait
+        )
+        futures = [future for future, _value in records]
+        values = [value for _future, value in records]
+        k = len(records)
+        method = ActorMethod(replica.handle, self._method, num_returns=k)
+        refs = method.remote(values)
+        self._batches += 1
+        self._largest_batch = max(self._largest_batch, k)
+        if k == 1:
+            # num_returns=1 stores the whole 1-element result list in
+            # the single slot; unwrap index 0 recovers the call's value.
+            self._dispatch_locked(replica, refs, futures, unwrap=0)
+        else:
+            for ref, future in zip(refs, futures):
+                self._dispatch_locked(replica, ref, [future], unwrap=None)
+
+    def _dispatch_locked(
+        self,
+        replica: _Replica,
+        ref: ObjectRef,
+        futures: list,
+        unwrap: Optional[int],
+    ) -> None:
+        """Track one submitted ref and arrange its resolution."""
+        replica.inflight += len(futures)
+        if self._event_driven:
+            for future in futures:
+                self._inflight_map[ref.object_id] = (
+                    future, replica, replica.generation, unwrap,
+                )
+            self._runtime.watch_object(ref.object_id, self._on_ready)
+        else:
+            for future in futures:
+                future._ref = ref
+                future._replica = replica
+                future._unwrap = unwrap
+                future._generation = replica.generation
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _on_ready(self, object_id: Any) -> None:
+        """Completion-pump callback (no runtime lock held)."""
+        with self._cond:
+            entry = self._inflight_map.pop(object_id, None)
+            if entry is None:
+                return
+            future, replica, generation, unwrap = entry
+            if replica.generation == generation:
+                replica.inflight -= 1
+            self._inflight_total -= 1
+            try:
+                value = self._runtime.get(ObjectRef(object_id), timeout=0)
+            except ActorLostError as exc:
+                self._finish_locked(future, exc=exc)
+                self._replica_lost(replica, generation, exc)
+            except BaseException as exc:  # noqa: BLE001 - any stored error
+                self._finish_locked(future, exc=exc)
+            else:
+                if unwrap is not None:
+                    value = value[unwrap]
+                self._finish_locked(future, value=value)
+
+    def _sim_resolve(self, future: ServeFuture) -> None:
+        """Sim-mirror resolution: flush, then drive the virtual clock."""
+        with self._cond:
+            if future.done():
+                return
+            replica = future._replica
+            while getattr(future, "_ref", None) is None and replica.pending:
+                # Still queued in a partial batch: demanding the result
+                # is the flush trigger in virtual time.
+                self._flush_replica_locked(replica)
+            ref = future._ref
+            generation = future._generation
+            self._inflight_total -= 1
+            if replica.generation == generation:
+                replica.inflight -= 1
+            try:
+                value = self._runtime.get(ref)
+            except ActorLostError as exc:
+                self._finish_locked(future, exc=exc)
+                self._replica_lost(replica, generation, exc)
+            except BaseException as exc:  # noqa: BLE001 - any stored error
+                self._finish_locked(future, exc=exc)
+            else:
+                if future._unwrap is not None:
+                    value = value[future._unwrap]
+                self._finish_locked(future, value=value)
+
+    def _finish_locked(
+        self, future: ServeFuture, value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        if future.done():
+            return
+        if exc is not None:
+            self._failed += 1
+            future.set_exception(exc)
+        else:
+            self._completed += 1
+            future.set_result(value)
+        if self._order and not self._event_driven:
+            while self._order and self._order[0].done():
+                self._order.popleft()
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Flusher thread (event-driven batching only)
+    # ------------------------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        with self._cond:
+            while not self._closed:
+                now = time.monotonic()
+                next_deadline = None
+                for replica in self._replicas:
+                    if not replica.pending or replica.deadline is None:
+                        continue
+                    if replica.deadline <= now:
+                        try:
+                            self._flush_replica_locked(replica)
+                        except BaseException:  # noqa: BLE001 - the
+                            # flusher must survive a submission error
+                            # (e.g. runtime mid-shutdown); the affected
+                            # calls fail at pool close.
+                            pass
+                    elif next_deadline is None or replica.deadline < next_deadline:
+                        next_deadline = replica.deadline
+                timeout = (
+                    None
+                    if next_deadline is None
+                    else max(0.0, next_deadline - time.monotonic())
+                )
+                self._cond.wait(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "size": len(self._replicas),
+                "alive": sum(1 for r in self._replicas if r.alive),
+                "routing": self._routing,
+                "max_batch_size": self._max_batch_size,
+                "admission": self._admission,
+                "max_queue_depth": self._max_queue_depth,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "shed": self._shed,
+                "batches": self._batches,
+                "largest_batch": self._largest_batch,
+                "inflight": self._inflight_total,
+                "respawns": self._respawns,
+                "queue_depths": [r.depth() for r in self._replicas],
+            }
+
+    def close(self) -> None:
+        """Stop accepting calls, flush queued batches, retire the pool.
+
+        Queued (unflushed) calls are submitted on the way out so nothing
+        is silently dropped; event-driven in-flight calls resolve via
+        the completion pump (or fail visibly at runtime shutdown), and
+        the sim mirror drains deterministically.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for replica in self._replicas:
+                while replica.pending and replica.alive:
+                    try:
+                        self._flush_replica_locked(replica)
+                    except BaseException:  # noqa: BLE001 - runtime may
+                        break  # already be unusable; fail below instead
+                while replica.pending:
+                    future, _value = replica.pending.popleft()
+                    self._inflight_total -= 1
+                    self._finish_locked(
+                        future,
+                        exc=self._dead_error
+                        or BackendError("ActorPool closed with queued calls"),
+                    )
+            if not self._event_driven:
+                while self._order:
+                    self._sim_resolve(self._order.popleft())
+            self._cond.notify_all()
+        if self._flusher is not None:
+            self._flusher.join(timeout=2.0)

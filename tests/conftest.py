@@ -5,6 +5,15 @@ import pytest
 import repro
 
 
+def pytest_configure(config):
+    # The serve/async suites mark themselves with per-test deadlines.
+    # CI installs pytest-timeout, which enforces them; registering the
+    # marker here keeps local runs (without the plugin) warning-free.
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test deadline (pytest-timeout)"
+    )
+
+
 @pytest.fixture(autouse=True)
 def _clean_runtime():
     """Ensure no runtime leaks between tests."""

@@ -284,6 +284,43 @@ def run_program(backend, **init_kwargs):
                 type(exc).__name__, "never-created" in str(exc)
             )
 
+        # Serving plane: async submission/await and ActorPool.  Only
+        # batch-timing-invariant observables are compared — *how* calls
+        # coalesce depends on the clock, but values, per-call results,
+        # and admission counts must be identical everywhere.
+        import asyncio
+
+        outcome["async_get"] = asyncio.run(
+            repro.get_async(square.remote(9), timeout=60.0)
+        )
+        outcome["async_get_many"] = asyncio.run(
+            repro.get_async([square.remote(i) for i in range(5)], timeout=60.0)
+        )
+
+        @repro.remote
+        class VecDoubler:
+            def __call__(self, batch):
+                return [2 * v for v in batch]
+
+        pool = repro.ActorPool(
+            VecDoubler, size=2, max_batch_size=3, batch_wait_ms=1.0
+        )
+        pool_futures = [pool.submit(i) for i in range(10)]
+        outcome["pool_batched"] = [f.result(timeout=60.0) for f in pool_futures]
+        pool_stats = pool.stats()
+        outcome["pool_counts"] = (
+            pool_stats["submitted"],
+            pool_stats["completed"],
+            pool_stats["failed"],
+            pool_stats["shed"],
+        )
+        chain_pool = repro.ActorPool(
+            Accumulator, size=1, method="add", args=(0,), max_batch_size=1
+        )
+        outcome["pool_unbatched_chain"] = [
+            chain_pool.submit(1).result(timeout=60.0) for _ in range(4)
+        ]
+
         # ... and as_completed, over already-complete and timed-out refs.
         finished_refs = [square.remote(i) for i in range(4)]
         repro.get(finished_refs)

@@ -434,3 +434,119 @@ class TestBottomUpCrash:
                 repro.get(ref, timeout=60.0)
         # The healed pool keeps serving fresh work.
         assert repro.get(proc_noop.remote(), timeout=60.0) == 1
+
+
+@repro.remote
+class MarkedBatcher:
+    """Vectorized serving replica that drops a marker when a batch
+    starts, then blocks until the gate file appears."""
+
+    def handle(self, batch):
+        if batch and isinstance(batch[0], tuple):
+            marker_path, gate_path = batch[0]
+            open(marker_path, "w").close()
+            deadline = time.monotonic() + 60.0
+            while not os.path.exists(gate_path):
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.01)
+        return [v if isinstance(v, int) else "gated" for v in batch]
+
+
+class TestServeFaults:
+    """Serving-plane fault injection: the pool must never drop a call
+    silently — every future resolves with a value or a visible error —
+    and replica loss triggers in-place respawn under the pool budget."""
+
+    pytestmark = pytest.mark.timeout(120)
+
+    def test_kill_worker_mid_batch_fails_visibly_and_respawns(self, tmp_path):
+        runtime = repro.init(backend="proc", num_workers=2)
+        marker = str(tmp_path / "batch_started")
+        gate = str(tmp_path / "gate")  # never opened: batch dies blocked
+        pool = repro.ActorPool(
+            MarkedBatcher, size=2, method="handle",
+            max_batch_size=4, batch_wait_ms=1.0, max_reconstructions=2,
+        )
+        # First call routes round-robin to replica 0 and blocks there.
+        stuck = pool.submit((marker, gate))
+        _await_marker(marker)
+        victim = runtime.worker_for_actor(pool._replicas[0].handle.actor_id)
+        # Queue more calls behind (and alongside) the doomed batch.
+        trailing = [pool.submit(i) for i in range(6)]
+        runtime.kill_worker(victim)
+        # Every future resolves: the in-flight batch with ActorLostError,
+        # the rest with their values (re-homed or on the live replica).
+        outcomes = []
+        for future in [stuck] + trailing:
+            try:
+                outcomes.append(future.result(timeout=60.0))
+            except ActorLostError:
+                outcomes.append("lost")
+        assert len(outcomes) == 7  # nothing hangs, nothing is dropped
+        assert "lost" in outcomes  # the mid-flight batch failed visibly
+        stats = pool.stats()
+        assert stats["submitted"] == stats["completed"] + stats["failed"]
+        assert stats["failed"] >= 1
+        # The pool healed: the dead slot respawned and serves again.
+        assert stats["alive"] == 2
+        assert stats["respawns"] >= 1
+        assert pool.submit(42).result(timeout=60.0) == 42
+
+    def test_respawn_budget_exhaustion_fails_submissions(self):
+        runtime = repro.init(backend="proc", num_workers=1)
+        pool = repro.ActorPool(
+            MarkedBatcher, size=1, method="handle",
+            max_batch_size=2, batch_wait_ms=1.0, max_reconstructions=0,
+        )
+        assert pool.submit(1).result(timeout=60.0) == 1
+        victim = runtime.worker_for_actor(pool._replicas[0].handle.actor_id)
+        runtime.kill_worker(victim)
+        # The loss surfaces on the next call's future; with a zero
+        # respawn budget the pool then refuses new submissions.
+        with pytest.raises(ActorLostError):
+            pool.submit(2).result(timeout=60.0)
+        assert pool.stats()["alive"] == 0
+        with pytest.raises(ActorLostError):
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:  # submit until refusal
+                pool.submit(3).result(timeout=60.0)
+        assert repro.get(proc_noop.remote(), timeout=60.0) == 1
+
+    def test_admission_cap_holds_during_recovery(self, tmp_path):
+        runtime = repro.init(backend="proc", num_workers=2)
+        marker = str(tmp_path / "batch_started")
+        gate = str(tmp_path / "gate")
+        cap = 4
+        pool = repro.ActorPool(
+            MarkedBatcher, size=2, method="handle",
+            max_batch_size=2, batch_wait_ms=1.0,
+            max_queue_depth=cap, admission="shed", max_reconstructions=2,
+        )
+        stuck = pool.submit((marker, gate))
+        _await_marker(marker)
+        victim = runtime.worker_for_actor(pool._replicas[0].handle.actor_id)
+        runtime.kill_worker(victim)
+        # Flood during the recovery window: the cap must hold the whole
+        # time — at no point do more than ``cap`` calls sit in flight.
+        accepted, shed = [stuck], 0
+        for i in range(40):
+            try:
+                accepted.append(pool.submit(i))
+            except repro.Backpressure:
+                shed += 1
+            assert pool.stats()["inflight"] <= cap
+        assert shed > 0
+        stats = pool.stats()
+        assert stats["shed"] == shed
+        assert stats["submitted"] + stats["shed"] == 41  # 1 stuck + 40 attempts
+        open(gate, "w").close()
+        resolved = 0
+        for future in accepted:
+            try:
+                future.result(timeout=60.0)
+                resolved += 1
+            except ActorLostError:
+                resolved += 1
+        assert resolved == len(accepted)  # exactly-once under recovery
+        assert pool.stats()["inflight"] == 0
