@@ -75,6 +75,7 @@ from repro.errors import (
     BackendError,
     Backpressure,
     GetTimeoutError,
+    NodeLostError,
     ObjectLostError,
     ReproError,
     SchedulingError,
@@ -125,6 +126,7 @@ __all__ = [
     "TaskCancelledError",
     "ActorLostError",
     "WorkerCrashedError",
+    "NodeLostError",
     "Backpressure",
     "__version__",
 ]

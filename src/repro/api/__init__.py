@@ -132,7 +132,9 @@ successor systems' extensions (6–8):
     runtime's completion pump (one daemon thread, not one blocking
     ``get`` per call), and :class:`~repro.serve.ActorPool` puts N
     replicas of an actor behind one handle with pluggable routing
-    (``round_robin`` / ``least_loaded``), automatic micro-batching
+    (``round_robin`` / ``least_loaded`` / ``latency_aware``, the last
+    weighting queue depth by an EWMA of each replica's observed
+    service time so stragglers shed load), automatic micro-batching
     (coalesce up to ``max_batch_size`` calls within ``batch_wait_ms``
     into one vectorized invocation, split back per-call via
     ``num_returns``), queue-depth admission control
@@ -159,6 +161,38 @@ successor systems' extensions (6–8):
     ...     return x * x
     >>> asyncio.run(repro.get_async(square.remote(7), timeout=30.0))
     49
+    >>> repro.shutdown()
+
+12. the model scales **across node boundaries** unchanged
+    (:mod:`repro.dist`): ``init(backend="dist", num_nodes=N)`` starts
+    N node-agent processes, each owning its worker processes and a
+    node-local shm arena, with the driver attached over TCP.  Large
+    results stay *node-resident* — task completion ships a ~100-byte
+    descriptor, and an object's bytes cross a node boundary at most
+    once per consuming node, on first read (counted in
+    ``stats()["cluster"]["internode"]``).  Membership is heartbeat
+    based: a node killed with ``kill_node(i)`` — or silently stalled,
+    SIGSTOP-style — is detected, its in-flight and node-resident
+    stateless work replays on survivors through lineage, its actors
+    surface ``ActorLostError``, and objects whose replay budget is
+    exhausted surface ``NodeLostError`` instead of hanging.  Every
+    backend reports the same ``stats()["cluster"]`` shape (the others
+    as a one-node or simulated view), so a harness can branch on
+    membership without caring which runtime is live:
+
+    >>> import repro
+    >>> runtime = repro.init(backend="dist", num_nodes=2, num_cpus=1)
+    >>> @repro.remote
+    ... def blob(i):
+    ...     return bytes([i]) * (1 << 20)
+    >>> refs = [blob.remote(i) for i in range(4)]
+    >>> [len(v) for v in repro.get(refs, timeout=60.0)]
+    [1048576, 1048576, 1048576, 1048576]
+    >>> cluster = runtime.stats()["cluster"]
+    >>> (cluster["num_nodes"], cluster["nodes_alive"])
+    (2, 2)
+    >>> cluster["internode"]["internode_fetches"] >= 1
+    True
     >>> repro.shutdown()
 
 All of it runs identically on every registered backend; see

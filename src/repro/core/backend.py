@@ -277,6 +277,12 @@ def _load_proc() -> Callable[..., Any]:
     return ProcRuntime
 
 
+def _load_dist() -> Callable[..., Any]:
+    from repro.dist.runtime import DistRuntime
+
+    return DistRuntime
+
+
 register_backend(
     "sim",
     _load_sim,
@@ -288,6 +294,17 @@ register_backend(
 register_backend(
     "proc",
     _load_proc,
+    BackendCapabilities(
+        true_parallelism=True,
+        fault_injection=True,
+        multiprocess=True,
+        shared_memory=True,
+        bottom_up_scheduling=True,
+    ),
+)
+register_backend(
+    "dist",
+    _load_dist,
     BackendCapabilities(
         true_parallelism=True,
         fault_injection=True,

@@ -814,6 +814,63 @@ class SimRuntime:
             "actors_created": len(self.actors),
             "tasks_cancelled": self._lifecycle.cancelled_count,
             "serve": serve_stats(self._serve_pools),
+            "cluster": self._cluster_stats(),
+        }
+
+    def _cluster_stats(self) -> dict:
+        """Cluster view with the dist backend's keys: the deterministic
+        mirror of stats()["cluster"], driven by the modeled membership
+        plane.  ``alive`` reflects the *monitor's* verdict (a killed but
+        not-yet-condemned node still reads alive — exactly the window the
+        dist backend's heartbeat detector has), and heartbeat ages are
+        virtual-time exact, so a live node always reads 0.0.
+        """
+        declared_dead = set(self.monitor.nodes_declared_dead)
+        transfers = sum(t.transfers_completed for t in self._transfers.values())
+        transfer_bytes = sum(t.bytes_transferred for t in self._transfers.values())
+        per_node = []
+        for index, node_id in enumerate(self.node_ids):
+            alive = node_id not in declared_dead
+            store = self._stores[node_id]
+            per_node.append(
+                {
+                    "node_index": index,
+                    "alive": alive,
+                    "agent_pid": None,
+                    "shm_enabled": False,
+                    "heartbeat_age": 0.0 if alive else None,
+                    "workers_alive": len(self._workers[node_id]) if alive else 0,
+                    "objects_resident": store.num_objects,
+                    "bytes_resident": store.used_bytes,
+                }
+            )
+        return {
+            "num_nodes": len(self.node_ids),
+            "workers_per_node": (
+                sum(len(ws) for ws in self._workers.values())
+                // max(1, len(self.node_ids))
+            ),
+            "nodes_alive": len(self.node_ids) - len(declared_dead),
+            "nodes_lost": len(declared_dead),
+            "heartbeat_timeouts": len(declared_dead),
+            "heartbeat_interval": self.costs.heartbeat_interval,
+            "heartbeat_timeout": self.costs.heartbeat_timeout,
+            # Every object lives in some node's modeled store; none is a
+            # driver-side copy, so the whole census is "node resident".
+            "objects_node_resident": sum(
+                s.num_objects for s in self._stores.values()
+            ),
+            "internode": {
+                "count": transfers,
+                "total_bytes": transfer_bytes,
+                "max_bytes": 0,
+                "zero_copy_bytes": 0,
+                "shm_hits": 0,
+                "pipe_fallbacks": 0,
+                "internode_fetches": transfers,
+                "internode_bytes": transfer_bytes,
+            },
+            "per_node": per_node,
         }
 
     def replica_targets(self) -> list:

@@ -41,6 +41,7 @@ from repro.core.object_ref import ObjectRef
 from repro.core.task import TaskSpec, TaskState
 from repro.errors import (
     ActorLostError,
+    NodeLostError,
     ReproError,
     TaskCancelledError,
     TaskError,
@@ -64,11 +65,14 @@ class ErrorValue:
     #: ``"task"`` for ordinary failures, ``"actor_lost"`` when the result
     #: is unavailable because the actor's node died, ``"worker_crashed"``
     #: when the executing worker process died and lineage replay was
-    #: unavailable or exhausted, ``"cancelled"`` when ``repro.cancel``
-    #: discarded the result — the kind decides which exception ``get``
-    #: raises.
+    #: unavailable or exhausted, ``"node_lost"`` when a whole node died
+    #: holding the only replica and replay could not rebuild it,
+    #: ``"cancelled"`` when ``repro.cancel`` discarded the result — the
+    #: kind decides which exception ``get`` raises.
     kind: str = "task"
     actor_id: Any = None
+    #: Index of the lost node (``kind == "node_lost"`` only).
+    node_index: Any = None
 
     def to_exception(self) -> ReproError:
         if self.kind == "actor_lost":
@@ -78,6 +82,8 @@ class ErrorValue:
             return WorkerCrashedError(
                 self.task_id, self.function_name, self.cause_repr
             )
+        if self.kind == "node_lost":
+            return NodeLostError(self.node_index, self.cause_repr)
         if self.kind == "cancelled":
             return TaskCancelledError(
                 self.task_id, self.function_name, self.cause_repr
@@ -142,6 +148,7 @@ def propagate_error(value: ErrorValue, spec: TaskSpec) -> ErrorValue:
         chain=value.chain + (spec.function_name,),
         kind=value.kind,
         actor_id=value.actor_id,
+        node_index=value.node_index,
     )
 
 

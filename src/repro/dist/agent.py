@@ -1,0 +1,439 @@
+"""The node agent: the mid-tier process of the ``dist`` backend.
+
+One agent runs per node.  It owns that node's worker processes and its
+local object store (a shared-memory arena when the host supports it,
+plus a byte LRU), and sits on the wire between the driver and the
+workers:
+
+* **Relay.**  Driver↔worker frames cross unmodified — the proc protocol
+  is transport-agnostic (:mod:`repro.proc.transport`), so the agent
+  forwards encoded messages between the TCP link and the worker pipes
+  without re-interpreting anything it does not care about.
+* **Node data plane.**  The object-plane requests it *does* care about
+  are served locally when possible: a worker's ``SHM_CREATE`` for a
+  result is granted from the **node's** arena (the driver never sees the
+  bytes), ``FETCH``/``SHM_ATTACH`` hit the node store or the byte cache
+  before falling through to the driver, and bytes pulled through the
+  driver are cached so each object crosses the node boundary at most
+  once (the fetch-once-per-node half of descriptor-first transfer).
+  Result blobs that landed in the node arena are rewritten into
+  :class:`~repro.dist.protocol.NodeBlob` descriptors on their way up.
+* **Membership.**  A dedicated thread heartbeats over the control
+  channel; the main loop answers spawn/kill/fetch/delete commands; EOF
+  on the driver link (driver gone) or ``SHUTDOWN_NODE`` tears the node
+  down — workers killed, segments unlinked.
+
+The agent is intentionally single-threaded for all relay work (the
+heartbeat thread only writes, under the transport's send lock): per-pipe
+FIFO and per-link FIFO are therefore preserved end-to-end, which is the
+ordering the proc protocol's mirror/steal/cancel logic depends on.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import socket
+import sys
+import threading
+from typing import Any, Optional
+
+from repro.objectstore.store import LocalObjectStore
+from repro.proc import messages as msg
+from repro.proc.transport import PipeTransport, TcpTransport, Transport
+from repro.proc.worker import worker_main
+from repro.shm.coordinator import ShmCoordinator
+from repro.shm.segment import shm_available, usable_shm_budget
+from repro.utils.ids import NodeID
+from repro.utils.serialization import serialize
+from repro.dist import protocol as ctl
+
+#: Request tags the agent may forward upstream and must pair with the
+#: driver's OK/ERR replies (the per-channel reply stack).  Everything a
+#: worker sends that is not one of these is a one-way report.
+_REQUEST_TAGS = frozenset(
+    {
+        msg.FETCH, msg.SUBMIT, msg.GET, msg.WAIT, msg.PUT, msg.CANCEL,
+        msg.CREATE_ACTOR, msg.CALL_ACTOR, msg.GET_ACTOR,
+        msg.SHM_ATTACH, msg.SHM_CREATE, msg.SHM_SEAL, msg.SHM_ABORT,
+    }
+)
+
+#: Main-loop select timeout: an upper bound on command latency only —
+#: every message edge is an fd-readable event.
+_LOOP_TIMEOUT = 0.25
+
+
+class _WorkerSlot:
+    """One local worker: its pipe, process, and pending-reply stack."""
+
+    def __init__(self, channel: int, global_index: int) -> None:
+        self.channel = channel
+        self.global_index = global_index
+        self.conn: Optional[Transport] = None
+        self.process: Any = None
+        self.pid: Optional[int] = None
+        self.alive = False
+        #: Forwarded request tags awaiting a driver reply, innermost
+        #: last — requests nest strictly (the worker is single-threaded,
+        #: reentrant tasks stack), so each downstream OK/ERR pops the
+        #: top.  Entries are ``(tag, detail)`` where detail is what the
+        #: reply cache needs (object id(s)).
+        self.pending: list = []
+
+
+class NodeAgent:
+    """One node's mid-tier: local workers + local store + driver link."""
+
+    def __init__(
+        self, host: str, port: int, node_index: int, config: dict
+    ) -> None:
+        self.node_index = node_index
+        self.config = config
+        self.node_id = NodeID.from_seed(
+            f"repro-dist/{config['seed']}/node/{node_index}"
+        )
+        sock = socket.create_connection((host, port), timeout=10.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.link = TcpTransport(sock)
+        self._mp_ctx = None  # created lazily on first spawn
+        self.slots: dict[int, _WorkerSlot] = {}
+        #: Byte LRU of objects that crossed this node's boundary (pulled
+        #: fetch replies, inline args): the fetch-once-per-node cache.
+        self.cache = LocalObjectStore(
+            self.node_id, capacity=config["store_capacity"]
+        )
+        #: The node's shared-memory arena (None on shm-less hosts or
+        #: when disabled): the authority for every grant on this node.
+        self.shm: Optional[ShmCoordinator] = None
+        shm_capacity = config.get("shm_capacity", 0)
+        if shm_capacity > 0 and shm_available():
+            shm_capacity = usable_shm_budget(shm_capacity)
+            if shm_capacity > 0:
+                # The coordinator's name prefix includes this process's
+                # pid, so N agents on one host never collide.
+                self.shm = ShmCoordinator(
+                    self.node_id,
+                    capacity=shm_capacity,
+                    num_workers=config["total_workers"],
+                    seed=config["seed"],
+                )
+        self._known_segments: set = set()
+        self._stop = threading.Event()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-dist-agent-{node_index}-heartbeat",
+            daemon=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self.link.send(
+                (ctl.CTRL, (ctl.HELLO, self.node_index, os.getpid(),
+                            self.shm is not None))
+            )
+            self._heartbeat_thread.start()
+            self._loop()
+        except (EOFError, OSError, KeyboardInterrupt):
+            pass  # driver gone (shutdown or crash): tear down below
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self._stop.set()
+        for slot in self.slots.values():
+            if slot.pid is not None:
+                try:
+                    os.kill(slot.pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+        if self.shm is not None:
+            self.shm.shutdown()
+        self.link.close()
+
+    def _loop(self) -> None:
+        while True:
+            # Drain buffered frames fully before selecting: the TCP
+            # transport (and each pipe) may hold whole messages that
+            # would never re-trigger select.
+            while self.link.poll(0):
+                self._handle_downstream(self.link.recv())
+            for slot in list(self.slots.values()):
+                self._drain_worker(slot)
+            rlist = [self.link.fileno()]
+            for slot in self.slots.values():
+                if slot.alive:
+                    try:
+                        rlist.append(slot.conn.fileno())
+                    except OSError:
+                        continue
+            try:
+                select.select(rlist, [], [], _LOOP_TIMEOUT)
+            except (OSError, ValueError):
+                continue  # a pipe closed mid-select: next drain sees EOF
+
+    def _drain_worker(self, slot: _WorkerSlot) -> None:
+        if not slot.alive:
+            return
+        try:
+            while slot.conn.poll(0):
+                self._handle_upstream(slot, slot.conn.recv())
+        except (EOFError, OSError):
+            self._worker_died(slot)
+
+    def _worker_died(self, slot: _WorkerSlot) -> None:
+        """EOF on a worker pipe: reclaim its shm state and tell the
+        driver, which runs the same crash recovery as for a local
+        worker (the agent keeps the slot for the respawn command)."""
+        slot.alive = False
+        slot.pending.clear()
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if self.shm is not None:
+            self.shm.reclaim_client(slot.global_index + 1)
+        self.link.send((ctl.CTRL, (ctl.WORKER_DOWN, slot.channel)))
+
+    def _heartbeat_loop(self) -> None:
+        interval = self.config.get("heartbeat_interval", 0.2)
+        while not self._stop.is_set():
+            try:
+                self.link.send((ctl.CTRL, (ctl.HEARTBEAT,)))
+            except (OSError, EOFError):
+                return  # link gone: the main loop owns teardown
+            self._stop.wait(interval)
+
+    # ------------------------------------------------------------------
+    # Control commands
+    # ------------------------------------------------------------------
+
+    def _handle_downstream(self, frame: tuple) -> None:
+        channel, message = frame
+        if channel == ctl.CTRL:
+            self._handle_control(message)
+            return
+        slot = self.slots.get(channel)
+        if slot is None or not slot.alive:
+            return  # worker died while the message was in flight
+        tag = message[0]
+        if tag == msg.TASK:
+            # Opportunistic cache of inline args: they are exact copies
+            # of driver-stored bytes, so later FETCHes on this node (any
+            # worker) short-circuit here.
+            for object_id, data in message[1].get("inline", {}).items():
+                self._cache_bytes(object_id, data)
+        elif tag in (msg.OK, msg.ERR) and slot.pending:
+            self._note_reply(slot.pending.pop(), tag, message[1])
+        try:
+            slot.conn.send(message)
+        except (OSError, EOFError, BrokenPipeError):
+            self._worker_died(slot)
+
+    def _note_reply(self, pending: tuple, tag: str, value: Any) -> None:
+        """Cache the payload of a driver reply that moved object bytes
+        across the node boundary (the pull half of fetch-once-per-node)."""
+        if tag != msg.OK:
+            return
+        kind, detail = pending
+        if kind in (msg.FETCH, msg.SHM_ATTACH):
+            if isinstance(value, (bytes, bytearray)):
+                self._cache_bytes(detail, bytes(value))
+        elif kind == msg.GET:
+            for object_id, blob in zip(detail, value):
+                if isinstance(blob, (bytes, bytearray)):
+                    self._cache_bytes(object_id, bytes(blob))
+
+    def _handle_control(self, message: tuple) -> None:
+        tag = message[0]
+        if tag == ctl.SPAWN_WORKER:
+            self._spawn_worker(message[1], message[2], message[3])
+        elif tag == ctl.KILL_WORKER:
+            slot = self.slots.get(message[1])
+            if slot is not None and slot.pid is not None:
+                try:
+                    os.kill(slot.pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+        elif tag == ctl.FETCH_OBJECT:
+            self.link.send(
+                (ctl.CTRL,
+                 (ctl.OBJECT_DATA, message[1], self._local_bytes(message[2])))
+            )
+        elif tag == ctl.DELETE_OBJECT:
+            object_id = message[1]
+            self.cache.delete(object_id)
+            if self.shm is not None and self.shm.contains(object_id):
+                try:
+                    self.shm.store.unpin(object_id)
+                    self.shm.store.delete(object_id)
+                except Exception:  # noqa: BLE001 - best-effort reclaim
+                    pass
+        elif tag == ctl.SHUTDOWN_NODE:
+            raise EOFError("shutdown requested")  # run() tears down
+
+    def _spawn_worker(
+        self, channel: int, global_index: int, spawn_token: int
+    ) -> None:
+        """Start (or replace) the worker on ``channel`` — the same
+        ``worker_main`` the proc backend spawns, over a local pipe."""
+        if self._mp_ctx is None:
+            import multiprocessing
+
+            self._mp_ctx = multiprocessing.get_context("spawn")
+        config = self.config
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        process = self._mp_ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn, global_index, config["seed"],
+                config["worker_cache_bytes"], self.shm is not None,
+                config["inline_threshold"], config["dispatch_mode"],
+                spawn_token, config["spillover_policy"],
+            ),
+            name=f"repro-dist-worker-{self.node_index}-{channel}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        slot = _WorkerSlot(channel, global_index)
+        slot.conn = PipeTransport(parent_conn)
+        slot.process = process
+        slot.pid = process.pid
+        slot.alive = True
+        self.slots[channel] = slot
+        self.link.send((ctl.CTRL, (ctl.WORKER_SPAWNED, channel, process.pid)))
+
+    # ------------------------------------------------------------------
+    # The node object plane
+    # ------------------------------------------------------------------
+
+    def _cache_bytes(self, object_id, data: bytes) -> None:
+        try:
+            if not self.cache.contains(object_id):
+                self.cache.put(object_id, data)
+        except Exception:  # noqa: BLE001 - larger than the cache: skip
+            pass
+
+    def _local_bytes(self, object_id) -> Optional[bytes]:
+        """This node's copy of an object as plain serialized bytes, or
+        None.  A shm-resident value is re-joined in-band (one copy) —
+        the representation FETCH replies and inter-node pulls expect."""
+        data = self.cache.get(object_id)
+        if data is not None:
+            return data
+        if self.shm is not None and self.shm.contains(object_id):
+            try:
+                return serialize(self.shm.load(object_id))
+            except Exception:  # noqa: BLE001 - hostile user __reduce__
+                return None
+        return None
+
+    def _announce_segments(self) -> None:
+        """Tell the driver about newly created shm segments, so it can
+        unlink survivors if this agent is later SIGKILLed."""
+        names = set(self.shm.segment_names())
+        fresh = names - self._known_segments
+        if fresh:
+            self._known_segments = names
+            self.link.send((ctl.CTRL, (ctl.SEGMENTS, sorted(names))))
+
+    def _handle_upstream(self, slot: _WorkerSlot, message: tuple) -> None:
+        """One worker→driver message: serve it from the node plane when
+        possible, else forward (tracking request/reply pairing)."""
+        tag = message[0]
+        if tag == msg.FETCH:
+            data = self._local_bytes(message[1])
+            if data is not None:
+                slot.conn.send((msg.OK, data))
+                return
+            slot.pending.append((tag, message[1]))
+        elif tag == msg.SHM_ATTACH:
+            object_id = message[1]
+            if self.shm is not None:
+                described = self.shm.describe(object_id)
+                if described is not None:
+                    segment, shm_slot, size = described
+                    slot.conn.send(
+                        (msg.OK,
+                         msg.ShmDescriptor(object_id, segment, shm_slot, size))
+                    )
+                    return
+            data = self.cache.get(object_id)
+            if data is not None:
+                slot.conn.send((msg.OK, data))
+                return
+            slot.pending.append((tag, object_id))
+        elif tag == msg.SHM_CREATE:
+            object_id, nbytes = message[1], message[2]
+            if object_id is not None:
+                # A result write: granted from the NODE arena — the
+                # driver is not consulted and the bytes never leave the
+                # node until someone pulls them.
+                granted = None
+                if self.shm is not None:
+                    granted = self.shm.create_for_client(
+                        object_id, nbytes, client=slot.global_index + 1
+                    )
+                if granted is None:
+                    slot.conn.send((msg.OK, None))  # pipe-bytes fallback
+                    return
+                segment, shm_slot, size = granted
+                slot.conn.send(
+                    (msg.OK,
+                     msg.ShmDescriptor(object_id, segment, shm_slot, size))
+                )
+                self._announce_segments()
+                return
+            # object_id=None is the put path: the driver owns put ids,
+            # and it answers None (no driver arena on dist) — the put
+            # ships as bytes and stays driver-resident.
+            slot.pending.append((tag, None))
+        elif tag == msg.SHM_ABORT:
+            # Every grant on this node came from this agent; hand the
+            # space back and answer locally.
+            if self.shm is not None:
+                self.shm.abort_if_pending(message[1])
+            slot.conn.send((msg.OK, None))
+            return
+        elif tag == msg.GET:
+            slot.pending.append((tag, list(message[1])))
+        elif tag in (msg.DONE, msg.RESULT):
+            blob_index = 2 if tag == msg.DONE else 1
+            message = (
+                message[:blob_index]
+                + (self._seal_result_blobs(message[blob_index]),)
+                + message[blob_index + 1:]
+            )
+        elif tag in _REQUEST_TAGS:
+            slot.pending.append((tag, None))
+        self.link.send((slot.channel, message))
+
+    def _seal_result_blobs(self, blobs: list) -> list:
+        """Rewrite node-arena result descriptors into NodeBlobs.
+
+        The worker already filled the allocation through its own mapping
+        (pipe FIFO: its DONE follows the write); sealing here publishes
+        it node-locally, and the NodeBlob tells the driver where the
+        result lives without moving a byte."""
+        rewritten = []
+        for blob in blobs:
+            if isinstance(blob, msg.ShmDescriptor) and self.shm is not None:
+                if self.shm.seal(blob.object_id):
+                    rewritten.append(
+                        ctl.NodeBlob(blob.object_id, self.node_index, blob.size)
+                    )
+                    continue
+            rewritten.append(blob)
+        return rewritten
+
+
+def agent_main(host: str, port: int, node_index: int, config: dict) -> None:
+    """Entry point of a node agent process (importable for spawn)."""
+    NodeAgent(host, port, node_index, config).run()
+    sys.exit(0)

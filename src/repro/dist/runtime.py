@@ -1,0 +1,1230 @@
+"""Driver-side runtime of the ``dist`` backend: multi-node over TCP.
+
+:class:`DistRuntime` is :class:`~repro.proc.runtime.ProcRuntime` with the
+worker pool spread across N node-agent processes (localhost TCP), which
+changes the *plumbing* but none of the semantics:
+
+* **Same control plane.**  Every per-worker service thread, the queues,
+  the mirror, the steal broker, the dependency tracker — all inherited
+  unchanged.  A worker's "pipe" is a :class:`ChannelTransport`: sends are
+  multiplexed onto the node's TCP link as ``(channel, message)`` frames
+  by a per-link sender thread, receives come from a per-channel queue
+  fed by the link's reader thread.  EOF on a channel (worker died, node
+  died) surfaces exactly like pipe EOF, so the inherited crash handler
+  just works when the node is still up.
+* **Descriptor-first data plane.**  Large results seal into the
+  *producing node's* shm arena; the driver learns only a
+  :class:`~repro.dist.protocol.NodeBlob` and records residency.  Consumer
+  payloads carry bare ``SlotRef``\\ s; the producing node serves its own
+  arena, and a consumer elsewhere triggers exactly one
+  ``FETCH_OBJECT`` pull into the driver store, after which that node's
+  agent caches the bytes — each object's payload crosses each node
+  boundary at most once (counted in ``stats()["cluster"]["internode"]``).
+* **Membership.**  Agents heartbeat; a monitor thread declares a silent
+  node dead (``heartbeat_timeout``) and SIGKILLs it, which collapses the
+  silent-failure case onto the crash case: the link EOFs, every channel
+  EOFs, and recovery runs.  ``kill_node(i)`` is the fault-injection
+  entry.  Node loss re-homes that node's queued and in-flight stateless
+  work through the ``max_reconstructions`` lineage gate (node-resident
+  *objects* are re-produced the same way), actors on the node die with
+  :class:`~repro.errors.ActorLostError`, and anything unrecoverable
+  resolves to :class:`~repro.errors.NodeLostError`.
+
+Simplifications (documented, deliberate): node-to-node transfer is
+routed *through the driver* (pull-once-per-node still holds — the agent
+cache absorbs repeats); worker ``put``\\ s of large values ship bytes to
+the driver store (only task *results* are node-resident); agents run on
+localhost, so "inter-node" is measured in bytes crossing TCP, not hosts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import signal
+import socket
+import threading
+import time
+from typing import Any, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.actors import (
+    CREATION_METHOD,
+    REMOTE_INSTANCE,
+    actor_lost_error_value,
+    register_instance,
+)
+from repro.core.object_ref import ObjectRef
+from repro.core.worker import ErrorValue, error_value_from
+from repro.dist import protocol as ctl
+from repro.dist.agent import agent_main
+from repro.errors import (
+    BackendError,
+    GetTimeoutError,
+    ObjectLostError,
+    ReproError,
+)
+from repro.proc.messages import SlotRef
+from repro.proc.runtime import (
+    DEFAULT_SHM_CAPACITY,
+    ProcRuntime,
+    _WorkerHandle,
+)
+from repro.proc.transport import TcpTransport, Transport
+from repro.shm.segment import shm_available
+from repro.utils.serialization import (
+    ByteAccountant,
+    DEFAULT_INLINE_THRESHOLD,
+    serialize,
+    serialize_portable,
+    should_inline,
+)
+
+#: Sentinel queued into a channel to signal EOF (worker or node died).
+_EOF = object()
+
+#: Default agent heartbeat period, and the default liveness timeout as a
+#: multiple of it — generous enough that a GIL-bound driver under load
+#: never false-positives, small enough that the SIGSTOP test is quick.
+DEFAULT_HEARTBEAT_INTERVAL = 0.2
+_TIMEOUT_INTERVALS = 10
+
+#: How long the driver waits for all agents to connect and say HELLO.
+_HANDSHAKE_TIMEOUT = 20.0
+
+#: Bound on how long an object pull (or a wait on a racing pull /
+#: in-flight reconstruction) may take before the caller gives up and
+#: surfaces a lost-object error.
+_PULL_TIMEOUT = 30.0
+
+
+class ChannelTransport(Transport):
+    """One worker's message channel, multiplexed over its node's link.
+
+    Presents the same surface as the pipe the proc runtime expects:
+    ``send`` enqueues a ``(channel, message)`` frame for the link's
+    sender thread (never blocks; raises ``OSError`` once the link is
+    dead — the same edge a closed pipe gives), ``recv`` blocks on the
+    channel's inbound queue and raises ``EOFError`` on the sentinel the
+    reader enqueues when the worker or its node dies.
+    """
+
+    def __init__(self, link: "AgentLink", channel: int, inbound: queue.Queue) -> None:
+        self._link = link
+        self._channel = channel
+        self._inbound = inbound
+
+    def send(self, message: Any) -> None:
+        self._link.enqueue((self._channel, message))
+
+    def recv(self) -> Any:
+        item = self._inbound.get()
+        if item is _EOF:
+            self._inbound.put(_EOF)  # stay at EOF for any later recv/poll
+            raise EOFError("worker channel closed")
+        return item
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        # The runtime only ever polls non-blockingly on the driver side
+        # (_drain_worker_messages); a bounded timeout is not needed.
+        return not self._inbound.empty()
+
+    def writable(self) -> bool:
+        # Sends enqueue to an unbounded in-memory queue: always "ready".
+        # Control messages therefore never park in the worker outbox.
+        return True
+
+    def close(self) -> None:
+        pass  # the link owns the socket; the channel queue is just GC'd
+
+    def fileno(self) -> int:
+        raise OSError("channel transports have no file descriptor")
+
+
+class AgentLink:
+    """Driver-side state of one node agent connection.
+
+    Owns the TCP transport and two threads: a *reader* that demultiplexes
+    inbound frames (worker frames to per-channel queues, control frames
+    handled inline) and a *sender* that drains an outbound queue (so no
+    runtime thread ever blocks on the socket).  Death — EOF, send error,
+    or :meth:`kill` — is funneled through :meth:`_mark_dead` exactly
+    once: every channel gets the EOF sentinel (waking its service thread
+    into crash recovery) and pending object pulls resolve to ``None``.
+    """
+
+    def __init__(
+        self,
+        runtime: "DistRuntime",
+        node_index: int,
+        transport: TcpTransport,
+        agent_pid: int,
+        shm_on: bool,
+    ) -> None:
+        self.runtime = runtime
+        self.node_index = node_index
+        self.transport = transport
+        self.agent_pid = agent_pid
+        self.shm_on = shm_on
+        self.alive = True
+        self.last_beat = time.monotonic()
+        #: channel -> pid, from WORKER_SPAWNED acks (what kill_node kills).
+        self.worker_pids: dict[int, int] = {}
+        #: channel -> inbound Queue (replaced on respawn).
+        self.channels: dict[int, queue.Queue] = {}
+        #: shm segment names the agent reported; unlinked at shutdown if
+        #: the agent was killed before its own teardown could run.
+        self.segments: list[str] = []
+        #: The node-loss sweep ran for this link (once, on first EOF).
+        self.reclaimed = False
+        self._lock = threading.Lock()
+        self._dead = False
+        self._out: queue.Queue = queue.Queue()
+        self._fetch_ids = itertools.count()
+        self._fetches: dict[int, list] = {}  # req -> [Event, result]
+        self._reader = threading.Thread(
+            target=self._reader_loop,
+            name=f"repro-dist-link-{node_index}-reader",
+            daemon=True,
+        )
+        self._sender = threading.Thread(
+            target=self._sender_loop,
+            name=f"repro-dist-link-{node_index}-sender",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+        self._sender.start()
+
+    def open_channel(self, channel: int) -> queue.Queue:
+        """A fresh inbound queue for (re)spawning the worker on ``channel``."""
+        inbound: queue.Queue = queue.Queue()
+        self.channels[channel] = inbound
+        if not self.alive:
+            inbound.put(_EOF)
+        return inbound
+
+    def enqueue(self, frame: tuple) -> None:
+        if not self.alive:
+            raise OSError(f"link to node {self.node_index} is down")
+        self._out.put(frame)
+
+    # -- threads --------------------------------------------------------
+
+    def _sender_loop(self) -> None:
+        while True:
+            frame = self._out.get()
+            if frame is None:
+                return
+            try:
+                self.transport.send(frame)
+            except (OSError, EOFError, ValueError):
+                self._mark_dead()
+                return
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                channel, message = self.transport.recv()
+                # Any inbound frame proves the agent is scheduled and its
+                # link drains — a SIGSTOPped or dead agent produces none.
+                self.last_beat = time.monotonic()
+                if channel == ctl.CTRL:
+                    self._handle_control(message)
+                    continue
+                inbound = self.channels.get(channel)
+                if inbound is not None:
+                    inbound.put(message)
+        except (OSError, EOFError):
+            pass
+        self._mark_dead()
+
+    def _handle_control(self, message: tuple) -> None:
+        tag = message[0]
+        if tag == ctl.HEARTBEAT:
+            pass  # last_beat already stamped above
+        elif tag == ctl.WORKER_SPAWNED:
+            self.worker_pids[message[1]] = message[2]
+        elif tag == ctl.WORKER_DOWN:
+            inbound = self.channels.get(message[1])
+            if inbound is not None:
+                inbound.put(_EOF)
+        elif tag == ctl.OBJECT_DATA:
+            with self._lock:
+                entry = self._fetches.pop(message[1], None)
+            if entry is not None:
+                entry[1] = message[2]
+                entry[0].set()
+        elif tag == ctl.SEGMENTS:
+            self.segments = list(message[1])
+
+    # -- death ----------------------------------------------------------
+
+    def _mark_dead(self) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            self.alive = False
+            pending = list(self._fetches.values())
+            self._fetches.clear()
+        for inbound in list(self.channels.values()):
+            inbound.put(_EOF)
+        for entry in pending:
+            entry[0].set()  # result stays None: the pull failed
+        self._out.put(None)  # stop the sender
+        try:
+            self.transport.close()
+        except OSError:
+            pass
+        # Recovery must not wait for a service thread to notice: an IDLE
+        # worker's thread is parked on the runtime cond, not on recv(),
+        # so the EOF sentinel alone would sit unread forever.
+        self.runtime._on_link_dead(self)
+
+    def kill(self) -> None:
+        """SIGKILL the whole node: agent first, then its workers (their
+        pipes EOF either way; killing them directly avoids orphans if the
+        agent was SIGSTOPped and cannot reap).  Closing the socket makes
+        detection immediate instead of waiting for kernel FIN delivery."""
+        with self._lock:
+            pids = [self.agent_pid] + list(self.worker_pids.values())
+        for pid in pids:
+            if not pid:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+        try:
+            self.transport.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._mark_dead()
+
+    def join_threads(self, timeout: float = 2.0) -> None:
+        for thread in (self._reader, self._sender):
+            if thread.is_alive():
+                thread.join(timeout=timeout)
+
+    # -- inter-node object transfer -------------------------------------
+
+    def fetch_object(
+        self, object_id: Any, timeout: float = _PULL_TIMEOUT
+    ) -> Optional[bytes]:
+        """Pull one node-resident object's serialized bytes (None if the
+        node is dead, no longer holds it, or the pull timed out)."""
+        with self._lock:
+            if self._dead:
+                return None
+            req = next(self._fetch_ids)
+            entry: list = [threading.Event(), None]
+            self._fetches[req] = entry
+        try:
+            self.enqueue((ctl.CTRL, (ctl.FETCH_OBJECT, req, object_id)))
+        except OSError:
+            with self._lock:
+                self._fetches.pop(req, None)
+            return None
+        entry[0].wait(timeout)
+        with self._lock:
+            self._fetches.pop(req, None)
+        return entry[1]
+
+
+class DistRuntime(ProcRuntime):
+    """Multi-node implementation of the backend protocol (TCP agents)."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        seed: int = 0,
+        workers_per_node: Optional[int] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: Optional[float] = None,
+        worker_crash_policy: str = "replace",
+        inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
+        worker_cache_bytes: int = 64 * 1024**2,
+        shm_capacity: int = DEFAULT_SHM_CAPACITY,
+        dispatch_mode: str = "bottom_up",
+        placement_policy: Any = None,
+        spillover_policy: Any = None,
+        steal_policy: Any = None,
+    ) -> None:
+        cluster = cluster or ClusterSpec.uniform(num_nodes=2, num_cpus=2)
+        num_nodes = cluster.num_nodes
+        if workers_per_node is None:
+            workers_per_node = max(1, cluster.total_cpus // num_nodes)
+        if not isinstance(workers_per_node, int) or workers_per_node < 1:
+            raise BackendError(
+                f"invalid init option workers_per_node={workers_per_node!r} "
+                "for backend 'dist'; must be a positive integer"
+            )
+        if not heartbeat_interval or heartbeat_interval <= 0:
+            raise BackendError(
+                f"invalid init option heartbeat_interval="
+                f"{heartbeat_interval!r} for backend 'dist'; must be > 0"
+            )
+        self._workers_per_node = workers_per_node
+        self._heartbeat_interval = float(heartbeat_interval)
+        self._heartbeat_timeout = (
+            float(heartbeat_timeout)
+            if heartbeat_timeout is not None
+            else _TIMEOUT_INTERVALS * self._heartbeat_interval
+        )
+        self._links: list[AgentLink] = []
+        self._agent_procs: list = []
+        self._listener: Optional[socket.socket] = None
+        #: object_id -> (node_index, size): results living only in a node
+        #: arena (the driver holds the descriptor, not the bytes).
+        self._node_resident: dict[Any, tuple] = {}
+        #: object_id -> producing TaskSpec, for node-loss reconstruction.
+        self._node_producers: dict[Any, Any] = {}
+        #: Worker-born payloads whose results went node-resident: normally
+        #: dropped at DONE, retained here so node loss can replay them.
+        self._retained_payloads: dict[Any, dict] = {}
+        #: Return ids of replays in flight after node loss — readers of
+        #: these wait instead of erroring while lineage re-executes.
+        self._reconstructing: set = set()
+        #: Objects with a pull in flight (dedup: one pull per object).
+        self._pulling: set = set()
+        self._acct_internode = ByteAccountant()
+        self._nodes_lost = 0
+        self._heartbeat_timeouts = 0
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+
+        per_node_shm = 0
+        if shm_capacity and shm_available():
+            # The byte budget is cluster-wide; each node arena gets an
+            # equal share (each agent re-clamps to its host's real /dev/shm).
+            per_node_shm = max(0, int(shm_capacity) // num_nodes)
+        config = {
+            "seed": seed,
+            "worker_cache_bytes": worker_cache_bytes,
+            "shm_capacity": per_node_shm,
+            "inline_threshold": inline_threshold,
+            "dispatch_mode": dispatch_mode,
+            "spillover_policy": spillover_policy,
+            "total_workers": num_nodes * workers_per_node,
+            "store_capacity": cluster.nodes[0].object_store_capacity,
+            "heartbeat_interval": self._heartbeat_interval,
+        }
+        try:
+            self._start_agents(num_nodes, config)
+            super().__init__(
+                cluster=cluster,
+                seed=seed,
+                num_workers=num_nodes * workers_per_node,
+                worker_crash_policy=worker_crash_policy,
+                inline_threshold=inline_threshold,
+                worker_cache_bytes=worker_cache_bytes,
+                shm_capacity=0,  # no driver arena: data lives on the nodes
+                dispatch_mode=dispatch_mode,
+                placement_policy=placement_policy,
+                spillover_policy=spillover_policy,
+                steal_policy=steal_policy,
+            )
+        except BaseException:
+            self._teardown_links()
+            raise
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop,
+            name="repro-dist-heartbeat-monitor",
+            daemon=True,
+        )
+        self._monitor_thread.start()
+
+    # ------------------------------------------------------------------
+    # Cluster bring-up / teardown
+    # ------------------------------------------------------------------
+
+    def _start_agents(self, num_nodes: int, config: dict) -> None:
+        mp_ctx = multiprocessing.get_context("spawn")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(num_nodes)
+        listener.settimeout(_HANDSHAKE_TIMEOUT)
+        self._listener = listener
+        host, port = listener.getsockname()
+        for index in range(num_nodes):
+            # daemon=False: daemonic processes cannot spawn children, and
+            # agents must spawn workers.  Orphan safety comes from the
+            # socket instead — an agent exits on driver-link EOF.
+            process = mp_ctx.Process(
+                target=agent_main,
+                args=(host, port, index, config),
+                name=f"repro-dist-agent-{index}",
+                daemon=False,
+            )
+            process.start()
+            self._agent_procs.append(process)
+        links: list = [None] * num_nodes
+        for _ in range(num_nodes):
+            try:
+                sock, _addr = listener.accept()
+            except OSError as exc:
+                raise BackendError(
+                    f"dist agent did not connect within "
+                    f"{_HANDSHAKE_TIMEOUT:.0f}s: {exc!r}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            transport = TcpTransport(sock)
+            sock.settimeout(_HANDSHAKE_TIMEOUT)
+            try:
+                channel, hello = transport.recv()
+            except (OSError, EOFError) as exc:
+                raise BackendError(
+                    f"dist agent handshake failed: {exc!r}"
+                ) from exc
+            sock.settimeout(None)
+            if channel != ctl.CTRL or not hello or hello[0] != ctl.HELLO:
+                raise BackendError(
+                    f"dist agent handshake failed: unexpected frame "
+                    f"{(channel, hello)!r}"
+                )
+            _tag, node_index, agent_pid, shm_on = hello
+            if not 0 <= node_index < num_nodes or links[node_index] is not None:
+                raise BackendError(
+                    f"dist agent handshake failed: bad node index {node_index}"
+                )
+            links[node_index] = AgentLink(
+                self, node_index, transport, agent_pid, shm_on
+            )
+        self._links = links
+        for link in links:
+            link.start()
+
+    def _teardown_links(self) -> None:
+        for link in self._links:
+            if link is not None:
+                link.kill()
+        for process in self._agent_procs:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        for link in self._links:
+            if link is not None:
+                link.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def _monitor_loop(self) -> None:
+        # Sub-interval ticks keep detection latency under one heartbeat.
+        while not self._monitor_stop.wait(self._heartbeat_interval / 2):
+            if self.closed:
+                return
+            now = time.monotonic()
+            for link in self._links:
+                if link.alive and now - link.last_beat > self._heartbeat_timeout:
+                    self._heartbeat_timeouts += 1
+                    link.kill()  # collapse silence onto the crash path
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        for pool in list(self._serve_pools):
+            pool.close()
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=2.0)
+        # Graceful first: agents SIGKILL their workers, unlink their
+        # arenas, and exit; the joins below give them a moment.
+        for link in self._links:
+            if link.alive:
+                try:
+                    link.enqueue((ctl.CTRL, (ctl.SHUTDOWN_NODE,)))
+                except OSError:
+                    pass
+        for process in self._agent_procs:
+            process.join(timeout=2.0)
+        self._teardown_links()  # EOF sentinels wake every service thread
+        for worker in self._workers:
+            if worker is not None and worker.thread is not None:
+                worker.thread.join(timeout=5.0)
+        for link in self._links:
+            link.join_threads()
+        # Arenas of agents that died *ungracefully* (kill_node, SIGKILL
+        # escalation) never ran their own unlink; the reported segment
+        # names let the driver reclaim them.  POSIX shm segments are
+        # /dev/shm files on Linux, so plain unlink avoids re-attaching
+        # (and re-tracking) dead segments; the tracker entry the dead
+        # agent registered (spawned children share the driver's tracker
+        # daemon) is dropped too, silencing its at-exit leak warning.
+        for link in self._links:
+            for name in link.segments:
+                try:
+                    os.unlink(os.path.join("/dev/shm", name.lstrip("/")))
+                except OSError:
+                    continue
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(
+                        "/" + name.lstrip("/"), "shared_memory"
+                    )
+                except Exception:  # noqa: BLE001 - tracker impl detail
+                    pass
+        self._completions.stop()
+
+    # ------------------------------------------------------------------
+    # Worker pool plumbing (channels instead of pipes)
+    # ------------------------------------------------------------------
+
+    def _link_of(self, worker_index: int) -> AgentLink:
+        return self._links[worker_index // self._workers_per_node]
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        """Ask the owning node's agent to start the worker (lock held).
+
+        No spawn ack is awaited: the channel is usable immediately (sends
+        queue on the link; the agent processes SPAWN_WORKER before any
+        frame that follows it, per link FIFO)."""
+        link = self._link_of(index)
+        channel = index % self._workers_per_node
+        inbound = link.open_channel(channel)
+        worker = _WorkerHandle(
+            index=index,
+            node_id=self.ids.node_id(),
+            conn=ChannelTransport(link, channel, inbound),
+        )
+        self._spawn_count += 1
+        worker.process = None  # the agent owns the OS process
+        self._workers[index] = worker
+        self._by_node[worker.node_id] = worker
+        try:
+            link.enqueue(
+                (ctl.CTRL, (ctl.SPAWN_WORKER, channel, index, self._spawn_count))
+            )
+        except OSError:
+            inbound.put(_EOF)  # dead node: service thread sees EOF at once
+        loop = (
+            self._service_loop_bottom_up
+            if self.dispatch_mode == "bottom_up"
+            else self._service_loop
+        )
+        thread = threading.Thread(
+            target=loop,
+            args=(worker,),
+            name=f"repro-dist-service-{index}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+        return worker
+
+    def kill_worker(self, index: int) -> None:
+        """Fault injection: SIGKILL one worker process (via its agent)."""
+        with self._cond:
+            self._check_open()
+            if not 0 <= index < len(self._workers):
+                raise ValueError(f"no worker with index {index}")
+        link = self._link_of(index)
+        try:
+            link.enqueue(
+                (ctl.CTRL, (ctl.KILL_WORKER, index % self._workers_per_node))
+            )
+        except OSError:
+            pass  # node already dead: node-loss recovery owns the worker
+
+    def kill_node(self, index: int) -> None:
+        """Fault injection: SIGKILL one whole node — its agent and every
+        worker on it.  Detection is the link EOF (immediate) or, for a
+        merely-silent node, the heartbeat monitor; recovery re-homes the
+        node's tasks and re-produces its resident objects through the
+        lineage gate."""
+        with self._cond:
+            self._check_open()
+            if not 0 <= index < len(self._links):
+                raise ValueError(f"no node with index {index}")
+        self._links[index].kill()
+
+    def worker_pids(self) -> list:
+        """PIDs of the live worker processes (as reported by agents)."""
+        with self._cond:
+            live = [
+                (w.index // self._workers_per_node,
+                 w.index % self._workers_per_node)
+                for w in self._workers
+                if w is not None and w.alive
+            ]
+        pids = []
+        for node_index, channel in live:
+            pid = self._links[node_index].worker_pids.get(channel)
+            if pid is not None:
+                pids.append(pid)
+        return pids
+
+    def agent_pids(self) -> list:
+        """PIDs of the live node agents (tests/tools)."""
+        return [link.agent_pid for link in self._links if link.alive]
+
+    # ------------------------------------------------------------------
+    # Results: NodeBlob residency
+    # ------------------------------------------------------------------
+
+    def _finish_done(self, worker, task_id, blobs, failed) -> None:
+        with self._cond:
+            node_blobs = [b for b in blobs if isinstance(b, ctl.NodeBlob)]
+            if node_blobs and self._lifecycle.is_cancelled(task_id):
+                # Cancelled mid-run: the marker owns the result slots and
+                # the base class drops the blobs — reclaim their arena
+                # space on the producing node too.
+                for blob in node_blobs:
+                    self._delete_remote(blob)
+            elif node_blobs:
+                payload = self._payloads.get(task_id)
+                if payload is not None:
+                    # Worker-born producer: _finish_done drops the live
+                    # payload, but node loss needs it to replay (the spec
+                    # alone carries no code/args for worker-born tasks).
+                    self._retained_payloads[task_id] = payload
+            super()._finish_done(worker, task_id, blobs, failed)
+
+    def _finish_spec(self, worker, spec, blobs, failed) -> None:
+        """Copy of the proc version with a NodeBlob arm: a node-resident
+        result registers residency instead of storing bytes (lock held)."""
+        worker.tasks_done += 1
+        self._tasks_executed += 1
+        self._acct_results.record(
+            sum(len(d) for d in blobs if isinstance(d, (bytes, bytearray)))
+        )
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            if record is not None and not record.dead and not failed:
+                if spec.actor_method == CREATION_METHOD:
+                    register_instance(record, REMOTE_INSTANCE, worker.node_id)
+                else:
+                    record.methods_executed += 1
+        if self._lifecycle.is_cancelled(spec.task_id):
+            for blob in blobs:
+                if isinstance(blob, ctl.NodeBlob):
+                    self._delete_remote(blob)  # cancelled: drop arena space
+            self._retained_payloads.pop(spec.task_id, None)
+            return
+        node_worker_base = None
+        for object_id, data in zip(spec.all_return_ids(), blobs):
+            if isinstance(data, ctl.NodeBlob):
+                self._node_resident[object_id] = (data.node_index, data.size)
+                self._node_producers[object_id] = spec
+                self._acct_shm.record_zero_copy(data.size)
+                # Locality: every worker of the producing node can read
+                # the object from the node arena without a transfer.
+                node_worker_base = data.node_index * self._workers_per_node
+                for channel in range(self._workers_per_node):
+                    self._residency.record(
+                        node_worker_base + channel, object_id, data.size
+                    )
+                self._object_arrived(object_id)
+                continue
+            try:
+                self._store_bytes(object_id, data)
+            except ReproError as exc:
+                self._store_bytes(
+                    object_id, serialize(error_value_from(spec, exc))
+                )
+
+    def _delete_remote(self, blob: ctl.NodeBlob) -> None:
+        try:
+            self._links[blob.node_index].enqueue(
+                (ctl.CTRL, (ctl.DELETE_OBJECT, blob.object_id))
+            )
+        except OSError:
+            pass  # dead node holds nothing worth deleting
+
+    def _has_object(self, object_id) -> bool:
+        return super()._has_object(object_id) or object_id in self._node_resident
+
+    def _object_arrived(self, object_id) -> None:
+        self._reconstructing.discard(object_id)
+        super()._object_arrived(object_id)
+
+    # ------------------------------------------------------------------
+    # Inter-node transfer: descriptor-first, pull on demand
+    # ------------------------------------------------------------------
+
+    def _pull_node_resident(
+        self, object_id, timeout: float = _PULL_TIMEOUT
+    ) -> bool:
+        """Ensure a node-resident object's bytes are in the driver store.
+
+        Returns True once the store holds the object.  Dedups concurrent
+        pulls (one TCP transfer per object), waits out an in-flight
+        reconstruction after node loss, and converts an object a *live*
+        node no longer holds (arena reclaim) into reconstruction-or-error
+        on the spot.  Returns False when the object is simply not
+        node-resident (nothing to pull) or the wait timed out."""
+        deadline = time.monotonic() + timeout
+        while True:
+            claimed = None
+            with self._cond:
+                if self._store.contains(object_id):
+                    return True
+                if object_id in self._pulling:
+                    self._cond.wait(timeout=0.05)
+                elif object_id in self._reconstructing:
+                    self._cond.wait(timeout=0.1)
+                else:
+                    entry = self._node_resident.get(object_id)
+                    if entry is None:
+                        return self._store.contains(object_id)
+                    self._pulling.add(object_id)
+                    claimed = entry
+            if claimed is None:
+                if time.monotonic() > deadline:
+                    return False
+                continue
+            node_index, _size = claimed
+            link = self._links[node_index]
+            try:
+                data = link.fetch_object(object_id)
+            finally:
+                with self._cond:
+                    self._pulling.discard(object_id)
+                    self._cond.notify_all()
+            if data is not None:
+                with self._cond:
+                    if not self._store.contains(object_id):
+                        self._acct_internode.record_internode(len(data))
+                        try:
+                            self._store_bytes(object_id, data)
+                        except ReproError:
+                            return False  # store full: caller surfaces it
+                return True
+            with self._cond:
+                still = self._node_resident.get(object_id)
+                if still is not None and still[0] == node_index and link.alive:
+                    # The live node dropped it (arena pressure):
+                    # reconstruct through lineage, or resolve to an error.
+                    self._node_resident.pop(object_id, None)
+                    self._object_lost_on_node(object_id, node_index, set())
+            if time.monotonic() > deadline:
+                return False
+            # Node died mid-pull: loop — the loss sweep either started a
+            # reconstruction (we wait on it) or stored an error marker.
+
+    def _fetch_bytes(self, worker, object_id) -> bytes:
+        self._pull_node_resident(object_id)
+        data = super()._fetch_bytes(worker, object_id)
+        # The reply crosses TCP into the consuming node (whose agent
+        # caches it — this is the at-most-once-per-node transfer).
+        self._acct_internode.record_internode(len(data))
+        return data
+
+    def _shm_attach(self, worker, object_id):
+        # Only reaches the driver when the consuming node missed locally.
+        self._pull_node_resident(object_id)
+        blob = super()._shm_attach(worker, object_id)
+        if isinstance(blob, (bytes, bytearray)):
+            self._acct_internode.record_internode(len(blob))
+        return blob
+
+    def _serve_get(self, worker, object_ids, timeout):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        blobs = []
+        for object_id in object_ids:
+            while True:
+                arrived = self._wait_serving(
+                    worker,
+                    lambda oid=object_id: self._has_object(oid),
+                    deadline,
+                )
+                if not arrived:
+                    raise GetTimeoutError(
+                        f"get timed out waiting for {object_id}"
+                    )
+                self._pull_node_resident(object_id)
+                with self._cond:
+                    blob = self._blob_for(object_id)
+                if blob is not None:
+                    if isinstance(blob, (bytes, bytearray)):
+                        self._acct_internode.record_internode(len(blob))
+                    blobs.append(blob)
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise GetTimeoutError(
+                        f"get timed out waiting for {object_id}"
+                    )
+                # Residency changed under us (node loss mid-pull): wait
+                # for the reconstruction (or its error marker) to land.
+        return blobs
+
+    def _wait_for_value(self, object_id, deadline):
+        while True:
+            with self._cond:
+                while not self._has_object(object_id):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise GetTimeoutError(
+                                f"get timed out waiting for {object_id}"
+                            )
+                    self._cond.wait(timeout=remaining)
+                needs_pull = (
+                    not self._store.contains(object_id)
+                    and object_id in self._node_resident
+                )
+            if not needs_pull:
+                return super()._wait_for_value(object_id, deadline)
+            self._pull_node_resident(object_id)
+            with self._cond:
+                pulled = self._store.contains(object_id)
+            if pulled:
+                return super()._wait_for_value(object_id, deadline)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise GetTimeoutError(f"get timed out waiting for {object_id}")
+            # else: lost mid-pull; loop back to waiting (reconstruction
+            # or the node-lost error marker will wake us).
+
+    def _build_payload(self, spec, worker) -> dict:
+        """Copy of the proc version minus the driver-arena arm, plus the
+        descriptor-first arm: a node-resident argument ships as a bare
+        ``SlotRef`` — the executing worker resolves it through its node
+        agent (arena hit on the producing node; elsewhere the agent pulls
+        through the driver once and caches)."""
+        existing = self._payloads.get(spec.task_id)
+        if existing is not None:
+            return existing
+        inline: dict = {}
+        with self._cond:
+            def slot(value: Any) -> Any:
+                if not isinstance(value, ObjectRef):
+                    return value
+                object_id = value.object_id
+                entry = self._node_resident.get(object_id)
+                if entry is not None and not self._store.contains(object_id):
+                    self._residency.record(worker.index, object_id, entry[1])
+                    return SlotRef(object_id)
+                data = self._store.get(object_id)
+                if data is None:
+                    raise ObjectLostError(
+                        f"argument object {object_id} is no longer in "
+                        "the driver store"
+                    )
+                if should_inline(len(data), self._inline_threshold):
+                    inline[object_id] = data
+                    self._acct_inline.record(len(data))
+                else:
+                    self._acct_stored.record(len(data))
+                self._residency.record(worker.index, object_id, len(data))
+                return SlotRef(object_id)
+
+            args_template = tuple(slot(value) for value in spec.args)
+            kwargs_template = {
+                key: slot(value) for key, value in spec.kwargs.items()
+            }
+        payload = {
+            "task_id": spec.task_id,
+            "function_id": spec.function_id,
+            "function_name": spec.function_name,
+            "return_object_id": spec.return_object_id,
+            "return_object_ids": spec.all_return_ids(),
+            "num_returns": spec.num_returns,
+            "call_bytes": serialize_portable((args_template, kwargs_template)),
+            "inline": inline,
+        }
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            payload["actor_id"] = spec.actor_id
+            payload["method"] = spec.actor_method
+            payload["class_name"] = (
+                record.class_name if record else spec.function_name
+            )
+            payload["resources"] = spec.resources
+            if spec.actor_method == CREATION_METHOD:
+                payload["function_bytes"] = self._function_bytes(spec)
+        else:
+            payload["function_bytes"] = self._function_bytes(spec)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Node loss
+    # ------------------------------------------------------------------
+
+    def _on_link_dead(self, link: AgentLink) -> None:
+        """A node's link died (EOF, send failure, kill): run recovery for
+        every worker of that node *now*.  Service threads blocked in
+        recv() also hit the EOF sentinel and come through
+        :meth:`_handle_worker_crash`, but both paths are idempotent
+        (``worker.alive`` / ``link.reclaimed`` guards), and an idle
+        worker has no thread anywhere near its channel — this call is
+        the only thing that fails it."""
+        workers = getattr(self, "_workers", None)
+        if workers is None:
+            return  # link died during __init__, before the pool exists
+        with self._cond:
+            if self.closed:
+                return
+            lo = link.node_index * self._workers_per_node
+            for index in range(lo, lo + self._workers_per_node):
+                worker = workers[index] if index < len(workers) else None
+                if worker is not None and worker.alive:
+                    self._fail_node_worker(worker, None, link)
+            self._reclaim_node_state(link)
+            self._cond.notify_all()
+
+    def _handle_worker_crash(self, worker, inflight, exc) -> None:
+        link = self._link_of(worker.index)
+        if link.alive:
+            # Worker died, node survives: identical to a proc crash —
+            # the inherited handler replays/fails and respawns through
+            # _spawn_worker, which routes the replacement via the agent.
+            super()._handle_worker_crash(worker, inflight, exc)
+            return
+        with self._cond:
+            if self.closed or not worker.alive:
+                return
+            self._fail_node_worker(worker, inflight, link)
+            self._reclaim_node_state(link)
+            self._cond.notify_all()
+
+    def _fail_node_worker(self, worker, inflight, link) -> None:
+        """One dead worker on a dead node (lock held): the proc crash
+        cleanup without a respawn — there is no node to respawn into."""
+        worker.alive = False
+        doomed = list(worker.inflight)
+        if inflight is not None and inflight not in doomed:
+            doomed.append(inflight)
+        worker.inflight.clear()
+        for _task_id, mirrored in worker.mirror.drain():
+            if mirrored not in doomed:
+                doomed.append(mirrored)
+        replaced = list(worker.placed)
+        worker.placed.clear()
+        worker.busy = False
+        worker.steal_outstanding = False
+        self._residency.forget_holder(worker.index)
+        self._workers_crashed += 1
+        self._by_node.pop(worker.node_id, None)
+        self.actors.mark_dead_on_node(worker.node_id)
+        for spec in doomed:
+            self._resolve_node_lost_task(spec, link.node_index)
+        survivor = self._any_live_worker()
+        while worker.pinned:
+            spec = worker.pinned.popleft()
+            record = self.actors.get(spec.actor_id) if spec.actor_id else None
+            if record is None:
+                self._queue.append(spec)
+            elif record.dead:
+                self._store_error_all_returns(
+                    spec, actor_lost_error_value(spec, record)
+                )
+            elif survivor is not None:
+                # Unconstructed actor: its creation never ran, so it can
+                # re-home to a surviving worker with no state lost.
+                record.node_id = survivor.node_id
+                survivor.actors_bound += 1
+                spec.placement_hint = survivor.node_id
+                survivor.pinned.append(spec)
+            else:
+                record.dead = True
+                self._store_error_all_returns(
+                    spec, actor_lost_error_value(spec, record)
+                )
+        for record in self.actors.alive_on_node(worker.node_id):
+            if survivor is not None:
+                record.node_id = survivor.node_id
+                survivor.actors_bound += 1
+            else:
+                record.dead = True
+        for spec in replaced:
+            if spec.placement_hint == worker.node_id:
+                spec.placement_hint = None
+            self._enqueue(spec)
+
+    def _any_live_worker(self) -> Optional[_WorkerHandle]:
+        alive = [
+            w for w in self._workers
+            if w is not None and w.alive
+        ]
+        if not alive:
+            return None
+        return min(alive, key=lambda w: (w.actors_bound, w.index))
+
+    def _resolve_node_lost_task(self, spec, node_index: int) -> None:
+        """Fate of a task in flight or queued on a lost node (lock held):
+        the proc crash resolution with ``node_lost`` error semantics."""
+        if spec.actor_id is not None:
+            record = self.actors.get(spec.actor_id)
+            if record is not None:
+                if not record.dead:
+                    record.dead = True
+                    record.instance = None
+                self._store_error_all_returns(
+                    spec, actor_lost_error_value(spec, record)
+                )
+            return
+        if self._lifecycle.is_cancelled(spec.task_id):
+            self._payloads.pop(spec.task_id, None)
+            return
+        attempts = self._replays.get(spec.task_id, 0)
+        if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
+            self._replays[spec.task_id] = attempts + 1
+            self._lineage_replays += 1
+            self._queue.append(spec)
+            return
+        self._payloads.pop(spec.task_id, None)
+        if self._crash_policy == "fail":
+            detail = (
+                f"node {node_index} was lost and worker_crash_policy="
+                "'fail' disables lineage replay"
+            )
+        else:
+            detail = (
+                f"node {node_index} was lost; lineage replay budget "
+                f"exhausted ({attempts}/{spec.max_reconstructions} "
+                "reconstructions)"
+            )
+        error = ErrorValue(
+            task_id=spec.task_id,
+            function_name=spec.function_name,
+            cause_repr=detail,
+            chain=(spec.function_name,),
+            kind="node_lost",
+            node_index=node_index,
+        )
+        data = serialize(error)
+        for object_id in spec.all_return_ids():
+            self._store_bytes(object_id, data)
+
+    def _reclaim_node_state(self, link: AgentLink) -> None:
+        """Once per lost node (lock held): sweep its resident objects —
+        each one either already has a driver copy, or is re-produced by
+        replaying its producer through the lineage gate, or resolves to a
+        ``node_lost`` error marker."""
+        if link.reclaimed:
+            return
+        link.reclaimed = True
+        self._nodes_lost += 1
+        lost = [
+            object_id
+            for object_id, (node_index, _size) in self._node_resident.items()
+            if node_index == link.node_index
+        ]
+        requeued: set = set()
+        for object_id in lost:
+            self._node_resident.pop(object_id, None)
+            if self._has_object(object_id):
+                continue  # a pulled copy survives in the driver store
+            self._object_lost_on_node(object_id, link.node_index, requeued)
+
+    def _object_lost_on_node(
+        self, object_id, node_index: int, requeued: set
+    ) -> None:
+        """Reconstruct-or-error for one object whose only replica died
+        (lock held).  ``requeued`` dedups producer re-submission when
+        several of its return objects were lost together."""
+        spec = self._node_producers.get(object_id)
+        attempts = 0 if spec is None else self._replays.get(spec.task_id, 0)
+        can_replay = (
+            spec is not None
+            and spec.actor_id is None
+            and self._crash_policy == "replace"
+            and not self._lifecycle.is_cancelled(spec.task_id)
+            and attempts < spec.max_reconstructions
+        )
+        if can_replay:
+            for return_id in spec.all_return_ids():
+                if not self._has_object(return_id):
+                    self._reconstructing.add(return_id)
+            if spec.task_id in requeued:
+                return
+            requeued.add(spec.task_id)
+            self._replays[spec.task_id] = attempts + 1
+            self._lineage_replays += 1
+            retained = self._retained_payloads.get(spec.task_id)
+            if retained is not None:
+                self._payloads[spec.task_id] = retained
+            self._enqueue(spec)
+            return
+        detail = f"object {object_id} was resident only on lost node {node_index}"
+        if spec is not None and spec.actor_id is not None:
+            detail += " (produced by an actor method: not replayable)"
+        elif spec is not None and self._crash_policy == "replace":
+            detail += (
+                f"; lineage replay budget exhausted "
+                f"({attempts}/{spec.max_reconstructions} reconstructions)"
+            )
+        error = ErrorValue(
+            task_id=spec.task_id if spec is not None else None,
+            function_name=(
+                spec.function_name if spec is not None else "<lost object>"
+            ),
+            cause_repr=detail,
+            chain=(spec.function_name,) if spec is not None else (),
+            kind="node_lost",
+            node_index=node_index,
+        )
+        data = serialize(error)
+        if spec is not None:
+            for return_id in spec.all_return_ids():
+                if not self._has_object(return_id):
+                    self._store_bytes(return_id, data)
+        else:
+            self._store_bytes(object_id, data)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        base = super().stats()
+        with self._cond:
+            now = time.monotonic()
+            per_node = []
+            for node_index, link in enumerate(self._links):
+                lo = node_index * self._workers_per_node
+                hi = lo + self._workers_per_node
+                per_node.append(
+                    {
+                        "node_index": node_index,
+                        "alive": link.alive,
+                        "agent_pid": link.agent_pid,
+                        "shm_enabled": link.shm_on,
+                        "heartbeat_age": (
+                            round(now - link.last_beat, 6) if link.alive else None
+                        ),
+                        "workers_alive": sum(
+                            1
+                            for w in self._workers[lo:hi]
+                            if w is not None and w.alive
+                        ),
+                        "objects_resident": sum(
+                            1
+                            for (n, _s) in self._node_resident.values()
+                            if n == node_index
+                        ),
+                        "bytes_resident": sum(
+                            s
+                            for (n, s) in self._node_resident.values()
+                            if n == node_index
+                        ),
+                    }
+                )
+            base["cluster"] = {
+                "num_nodes": len(self._links),
+                "workers_per_node": self._workers_per_node,
+                "nodes_alive": sum(1 for link in self._links if link.alive),
+                "nodes_lost": self._nodes_lost,
+                "heartbeat_timeouts": self._heartbeat_timeouts,
+                "heartbeat_interval": self._heartbeat_interval,
+                "heartbeat_timeout": self._heartbeat_timeout,
+                "objects_node_resident": len(self._node_resident),
+                "internode": self._acct_internode.snapshot(),
+                "per_node": per_node,
+            }
+        return base

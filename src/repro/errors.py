@@ -139,6 +139,38 @@ class ActorLostError(ReproError):
         super().__init__(message)
 
 
+class NodeLostError(ReproError):
+    """A whole node (its agent and every worker on it) was lost.
+
+    The ``dist`` backend's node-level analogue of
+    :class:`WorkerCrashedError`: raised at ``get`` time for objects that
+    were resident only on the dead node when replay could not rebuild
+    them — the producing task's lineage-replay budget was exhausted,
+    replay is disabled (``worker_crash_policy="fail"``), or the object
+    was a ``put`` with no producing task to replay.  Stateless tasks
+    lost with the node are otherwise transparently re-executed on the
+    survivors, and actor state lost with it surfaces as
+    :class:`ActorLostError`, exactly as for a single crashed worker.
+
+    Attributes
+    ----------
+    node_index:
+        Index of the lost node within the cluster (``kill_node`` order).
+    detail:
+        Human-readable context (what was lost, why replay was off).
+    """
+
+    def __init__(self, node_index=None, detail: str = "") -> None:
+        self.node_index = node_index
+        self.detail = detail
+        message = "node was lost"
+        if node_index is not None:
+            message = f"node {node_index} was lost with all its workers"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class Backpressure(ReproError):
     """Admission control rejected a serving-plane submission.
 

@@ -13,6 +13,7 @@ must differ: threads, locks, and wall-clock time.
 from __future__ import annotations
 
 import inspect
+import os
 import queue
 import threading
 import time
@@ -64,7 +65,7 @@ from repro.errors import BackendError, GetTimeoutError
 from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
 from repro.sched_plane import SchedCounters, WorkerCandidate, plan_placement
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
-from repro.utils.serialization import deserialize, serialize
+from repro.utils.serialization import ByteAccountant, deserialize, serialize
 
 _POISON = object()
 
@@ -413,6 +414,38 @@ class LocalRuntime:
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
                 "serve": serve_stats(self._serve_pools, self._completions),
+                # Cluster view with the dist backend's keys.  Threads share
+                # one address space, so no object is ever *node*-resident
+                # and nothing can cross a node boundary; nodes here are
+                # scheduling domains, not failure domains (no membership
+                # plane, nodes cannot be lost).
+                "cluster": {
+                    "num_nodes": len(self._nodes),
+                    "workers_per_node": (
+                        sum(len(n.threads) for n in self._nodes.values())
+                        // max(1, len(self._nodes))
+                    ),
+                    "nodes_alive": len(self._nodes),
+                    "nodes_lost": 0,
+                    "heartbeat_timeouts": 0,
+                    "heartbeat_interval": None,
+                    "heartbeat_timeout": None,
+                    "objects_node_resident": 0,
+                    "internode": ByteAccountant().snapshot(),
+                    "per_node": [
+                        {
+                            "node_index": index,
+                            "alive": True,
+                            "agent_pid": os.getpid(),
+                            "shm_enabled": False,
+                            "heartbeat_age": 0.0,
+                            "workers_alive": len(node.threads),
+                            "objects_resident": 0,
+                            "bytes_resident": 0,
+                        }
+                        for index, node in enumerate(self._nodes.values())
+                    ],
+                },
             }
 
     def replica_targets(self) -> list:

@@ -60,7 +60,7 @@ Architecture (one instance = one pool):
 from __future__ import annotations
 
 import multiprocessing
-import select
+import os
 import threading
 import time
 from collections import deque
@@ -111,6 +111,7 @@ from repro.errors import (
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
+from repro.proc.transport import PipeTransport
 from repro.proc.worker import worker_main
 from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
 from repro.sched_plane import (
@@ -171,19 +172,6 @@ _PIPE_SAFE_ERRORS = (
     TypeError,
     ValueError,
 )
-
-
-def _pipe_writable(conn: Any) -> bool:
-    """Whether a small send on ``conn`` can complete without blocking.
-
-    POSIX marks a pipe write-ready only when at least PIPE_BUF (>= 512,
-    4096 on Linux) bytes are free, so a ready pipe takes our <100-byte
-    control messages atomically."""
-    try:
-        _, writable, _ = select.select([], [conn], [], 0)
-    except (OSError, ValueError):
-        return False  # closing/closed: the crash path owns delivery now
-    return bool(writable)
 
 
 def _pipe_safe_error(tag: str, exc: BaseException) -> Exception:
@@ -732,6 +720,35 @@ class ProcRuntime:
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
                 "serve": serve_stats(self._serve_pools, self._completions),
+                # Degenerate one-node cluster view: same keys as the dist
+                # backend (which overrides this section), so harnesses can
+                # branch on stats()["cluster"] without caring which real
+                # backend is live.  No membership plane -> no heartbeats.
+                "cluster": {
+                    "num_nodes": 1,
+                    "workers_per_node": len(self._workers),
+                    "nodes_alive": 1,
+                    "nodes_lost": 0,
+                    "heartbeat_timeouts": 0,
+                    "heartbeat_interval": None,
+                    "heartbeat_timeout": None,
+                    "objects_node_resident": 0,
+                    "internode": ByteAccountant().snapshot(),
+                    "per_node": [
+                        {
+                            "node_index": 0,
+                            "alive": True,
+                            "agent_pid": os.getpid(),
+                            "shm_enabled": self._shm is not None,
+                            "heartbeat_age": 0.0,
+                            "workers_alive": sum(
+                                1 for w in self._workers if w.alive
+                            ),
+                            "objects_resident": self._store.num_objects,
+                            "bytes_resident": self._store.used_bytes,
+                        }
+                    ],
+                },
             }
 
     # ------------------------------------------------------------------
@@ -823,7 +840,9 @@ class ProcRuntime:
         """Start one child process + its service thread (lock held)."""
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
         worker = _WorkerHandle(
-            index=index, node_id=self.ids.node_id(), conn=parent_conn
+            index=index,
+            node_id=self.ids.node_id(),
+            conn=PipeTransport(parent_conn),
         )
         # The spawn token salts the worker's local id namespace so a
         # replacement worker in the same slot never re-issues ids its
@@ -879,7 +898,7 @@ class ProcRuntime:
         the worker's own service thread (:meth:`_flush_outbox`, called
         lock-free at every serving point) or ahead of its next reply."""
         with worker.send_lock:
-            if not worker.outbox and _pipe_writable(worker.conn):
+            if not worker.outbox and worker.conn.writable():
                 worker.conn.send(message)
                 return
             worker.outbox.append(message)

@@ -62,6 +62,7 @@ from repro.errors import ReproError
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
+from repro.proc.transport import ensure_transport
 from repro.scheduling.policies import SpilloverPolicy
 from repro.sched_plane.queues import LocalTaskQueue
 from repro.utils.ids import IDGenerator, NodeID, ObjectID
@@ -265,7 +266,9 @@ class ProcWorker:
         spawn_token: int = 0,
         spillover_policy: Optional[SpilloverPolicy] = None,
     ) -> None:
-        self.conn = conn
+        # Spawn ships a raw pipe Connection (the only picklable channel);
+        # everything below talks the Transport surface.
+        self.conn = ensure_transport(conn)
         self.index = index
         self.node_id = NodeID.from_seed(f"repro-proc/{seed}/worker/{index}")
         #: Collision-free id namespace for locally-born specs: the spawn

@@ -4,9 +4,14 @@ The serving plane's aggregation primitive.  An :class:`ActorPool` wraps
 ``size`` replicas of one actor class behind a single ``submit`` surface
 and composes the pieces a high-QPS serving tier needs:
 
-* **Routing** — ``round_robin`` (skip dead replicas) or ``least_loaded``
+* **Routing** — ``round_robin`` (skip dead replicas), ``least_loaded``
   (per-replica queue depth, rotating-cursor tie-break so ties never
-  re-pick the same blocked replica).
+  re-pick the same blocked replica), or ``latency_aware`` (an EWMA of
+  each replica's observed service time weights its queue depth, so a
+  slow replica — overloaded node, cold cache, degraded hardware —
+  drains to fewer calls instead of stalling its fair share).  Service
+  times are measured in the *runtime's* clock, so the policy stays
+  deterministic on the simulated backend.
 * **Micro-batching** — with ``max_batch_size > 1``, pending calls
   coalesce for up to ``batch_wait_ms`` into one vectorized method
   invocation (``method([v1..vk])`` returning a list of ``k`` results),
@@ -43,11 +48,17 @@ from repro.core.object_ref import ObjectRef
 from repro.errors import ActorLostError, BackendError, Backpressure
 from repro.sched_plane import spread_replicas
 
-ROUTING_POLICIES = ("round_robin", "least_loaded")
+ROUTING_POLICIES = ("round_robin", "least_loaded", "latency_aware")
 ADMISSION_POLICIES = ("shed", "block")
 
 #: Backstop for the block-admission wait; completions notify the cond.
 _ADMISSION_WAIT_BACKSTOP = 0.1
+
+#: EWMA smoothing factor for ``latency_aware`` routing: one observation
+#: moves the estimate 30% of the way — fast enough to track a replica
+#: that degrades mid-flight, smooth enough that one outlier call does
+#: not blacklist a healthy replica.
+_EWMA_ALPHA = 0.3
 
 
 class ServeFuture(concurrent.futures.Future):
@@ -85,7 +96,7 @@ class _Replica:
 
     __slots__ = (
         "slot", "handle", "alive", "generation", "inflight",
-        "pending", "deadline",
+        "pending", "deadline", "ewma",
     )
 
     def __init__(self, slot: int, handle: Any) -> None:
@@ -98,9 +109,30 @@ class _Replica:
         self.inflight = 0  # flushed calls not yet resolved
         self.pending: deque = deque()  # (future, value) awaiting a batch
         self.deadline: Optional[float] = None  # oldest pending's flush time
+        #: EWMA of observed per-call service time (runtime clock), None
+        #: until the first completion; feeds ``latency_aware`` routing.
+        self.ewma: Optional[float] = None
 
     def depth(self) -> int:
         return self.inflight + len(self.pending)
+
+    def observe(self, service_time: float) -> None:
+        """Fold one completed call's service time into the EWMA."""
+        if service_time < 0:
+            return  # clock went backwards (respawn race): skip the sample
+        if self.ewma is None:
+            self.ewma = service_time
+        else:
+            self.ewma += _EWMA_ALPHA * (service_time - self.ewma)
+
+    def expected_drain(self) -> float:
+        """Estimated time for a new call to clear this replica: queue
+        ahead of it plus itself, each at the observed service time.  An
+        unsampled replica scores 0 — optimism routes at least one call
+        there, which is what produces its first sample."""
+        if self.ewma is None:
+            return 0.0
+        return (self.depth() + 1) * self.ewma
 
 
 class ActorPool:
@@ -355,14 +387,17 @@ class ActorPool:
                 self._cursor += 1
                 if replica.alive:
                     return replica
-        else:  # least_loaded
+        else:  # least_loaded / latency_aware
+            by_latency = self._routing == "latency_aware"
             best = None
             best_load = None
             for offset in range(1, n + 1):
                 replica = self._replicas[(self._cursor + offset) % n]
                 if not replica.alive:
                     continue
-                load = replica.depth()
+                load = (
+                    replica.expected_drain() if by_latency else replica.depth()
+                )
                 if best is None or load < best_load:
                     best, best_load = replica, load
             if best is not None:
@@ -415,10 +450,11 @@ class ActorPool:
     ) -> None:
         """Track one submitted ref and arrange its resolution."""
         replica.inflight += len(futures)
+        started = self._runtime.now  # runtime clock: virtual on sim
         if self._event_driven:
             for future in futures:
                 self._inflight_map[ref.object_id] = (
-                    future, replica, replica.generation, unwrap,
+                    future, replica, replica.generation, unwrap, started,
                 )
             self._runtime.watch_object(ref.object_id, self._on_ready)
         else:
@@ -427,6 +463,7 @@ class ActorPool:
                 future._replica = replica
                 future._unwrap = unwrap
                 future._generation = replica.generation
+                future._started = started
 
     # ------------------------------------------------------------------
     # Resolution
@@ -438,7 +475,7 @@ class ActorPool:
             entry = self._inflight_map.pop(object_id, None)
             if entry is None:
                 return
-            future, replica, generation, unwrap = entry
+            future, replica, generation, unwrap, started = entry
             if replica.generation == generation:
                 replica.inflight -= 1
             self._inflight_total -= 1
@@ -450,6 +487,8 @@ class ActorPool:
             except BaseException as exc:  # noqa: BLE001 - any stored error
                 self._finish_locked(future, exc=exc)
             else:
+                if replica.generation == generation:
+                    replica.observe(self._runtime.now - started)
                 if unwrap is not None:
                     value = value[unwrap]
                 self._finish_locked(future, value=value)
@@ -477,6 +516,8 @@ class ActorPool:
             except BaseException as exc:  # noqa: BLE001 - any stored error
                 self._finish_locked(future, exc=exc)
             else:
+                if replica.generation == generation:
+                    replica.observe(self._runtime.now - future._started)
                 if future._unwrap is not None:
                     value = value[future._unwrap]
                 self._finish_locked(future, value=value)
@@ -549,6 +590,7 @@ class ActorPool:
                 "inflight": self._inflight_total,
                 "respawns": self._respawns,
                 "queue_depths": [r.depth() for r in self._replicas],
+                "service_time_ewma": [r.ewma for r in self._replicas],
             }
 
     def close(self) -> None:

@@ -129,6 +129,11 @@ class ByteAccountant:
     zero_copy_bytes: int = 0
     shm_hits: int = 0
     pipe_fallbacks: int = 0
+    #: Objects whose bytes crossed a node boundary (dist backend):
+    #: descriptor-first transfer fetches each object's payload at most
+    #: once per consuming node, and these two count exactly those pulls.
+    internode_fetches: int = 0
+    internode_bytes: int = 0
 
     def record(self, num_bytes: int) -> None:
         self.count += 1
@@ -148,6 +153,12 @@ class ByteAccountant:
         self.record(num_bytes)
         self.pipe_fallbacks += 1
 
+    def record_internode(self, num_bytes: int) -> None:
+        """One object's bytes pulled across a node boundary."""
+        self.record(num_bytes)
+        self.internode_fetches += 1
+        self.internode_bytes += num_bytes
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -156,6 +167,8 @@ class ByteAccountant:
             "zero_copy_bytes": self.zero_copy_bytes,
             "shm_hits": self.shm_hits,
             "pipe_fallbacks": self.pipe_fallbacks,
+            "internode_fetches": self.internode_fetches,
+            "internode_bytes": self.internode_bytes,
         }
 
 

@@ -33,6 +33,10 @@ CONFIGS = {
     "local+bottom_up": ("local", {"dispatch_mode": "bottom_up"}),
     "proc+driver": ("proc", {"dispatch_mode": "driver"}),
     "proc+bottom_up": ("proc", {"dispatch_mode": "bottom_up"}),
+    # Multi-node: two node agents over TCP, one worker per cpu.  The
+    # parity program must not be able to tell it is running across
+    # process *and* node boundaries.
+    "dist": ("dist", {}),
 }
 
 #: Configs whose cancellation/lifecycle proofs are re-run per dispatch
@@ -348,8 +352,8 @@ def program_outcomes():
 
 
 def test_matrix_covers_all_shipped_backends():
-    assert {"sim", "local", "proc"} <= set(BACKENDS)
-    assert {"proc+driver", "proc+bottom_up"} <= set(CONFIGS)
+    assert {"sim", "local", "proc", "dist"} <= set(BACKENDS)
+    assert {"proc+driver", "proc+bottom_up", "dist"} <= set(CONFIGS)
 
 
 @pytest.mark.parametrize(

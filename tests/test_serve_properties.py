@@ -430,6 +430,47 @@ class TestRouting:
         finally:
             repro.shutdown()
 
+    def test_latency_aware_starves_slow_replica(self, tmp_path):
+        token = tmp_path / "slow_token"
+        repro.init(backend="local", num_nodes=2, num_cpus=2)
+        try:
+
+            @repro.remote
+            class Uneven:
+                """First replica constructed claims the slow token and
+                serves each call ~20x slower than its peer."""
+
+                def __init__(self, token_path):
+                    try:
+                        with open(token_path, "x"):
+                            pass
+                        self.delay = 0.08
+                    except FileExistsError:
+                        self.delay = 0.004
+
+                def handle(self, value):
+                    time.sleep(self.delay)
+                    return (self.delay, value)
+
+            pool = repro.ActorPool(
+                Uneven, size=2, method="handle", args=(str(token),),
+                routing="latency_aware", max_batch_size=1,
+            )
+            # Sequential submit-and-wait keeps every queue empty, so the
+            # score reduces to each replica's service-time EWMA: once
+            # both replicas have been sampled (the optimistic 0.0 score
+            # guarantees each gets at least one call), the fast replica
+            # should win every pick.
+            results = [pool.submit(i).result(timeout=30.0) for i in range(12)]
+            slow_calls = sum(1 for delay, _v in results if delay == 0.08)
+            assert slow_calls <= 3, results
+            ewma = pool.stats()["service_time_ewma"]
+            assert len(ewma) == 2
+            assert min(ewma) > 0.0
+            assert max(ewma) > 2 * min(ewma)
+        finally:
+            repro.shutdown()
+
     def test_round_robin_spreads_evenly(self):
         repro.init(backend="sim", num_nodes=2, num_cpus=4)
         try:
