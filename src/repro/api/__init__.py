@@ -195,6 +195,40 @@ successor systems' extensions (6–8):
     True
     >>> repro.shutdown()
 
+13. **every component is stateless — including the driver**
+    (:mod:`repro.gcs`): the live backends keep lineage, the object
+    directory, and the actor registry in a hash-sharded control store
+    (the paper's GCS) that outlives the runtime that created it.
+    ``task_put`` is written ahead of dispatch, results small enough to
+    inline ride the object table, and ``init(...,
+    control_store=store, recover=True)`` rebuilds a *fresh* driver
+    from the shards: finished work answers from recovered payloads,
+    tasks the dead driver never finished are resubmitted (exactly
+    once — write-ahead lineage, generation-salted ids), and lost
+    actors surface ``ActorLostError`` rather than silently restarting
+    from zero.  ``stats()["control"]`` reports the same shard/op/
+    backlog shape on every backend:
+
+    >>> import repro
+    >>> runtime = repro.init(backend="proc", num_workers=1, seed=7)
+    >>> store = runtime._control          # the GCS outlives the driver
+    >>> @repro.remote
+    ... def double(x):
+    ...     return 2 * x
+    >>> refs = [double.remote(i) for i in range(3)]
+    >>> repro.get(refs, timeout=60.0)
+    [0, 2, 4]
+    >>> runtime.fail_driver()             # driver dies mid-session
+    >>> repro.shutdown()
+    >>> runtime = repro.init(backend="proc", num_workers=1, seed=7,
+    ...                      control_store=store, recover=True)
+    >>> repro.get(refs, timeout=60.0)     # same refs, new driver
+    [0, 2, 4]
+    >>> runtime.stats()["control"]["generation"]
+    2
+    >>> repro.shutdown()
+    >>> store.close()
+
 All of it runs identically on every registered backend; see
 :mod:`repro.core.backend`.
 """

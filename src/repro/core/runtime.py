@@ -815,6 +815,7 @@ class SimRuntime:
             "tasks_cancelled": self._lifecycle.cancelled_count,
             "serve": serve_stats(self._serve_pools),
             "cluster": self._cluster_stats(),
+            "control": self.control_plane.control_stats(),
         }
 
     def _cluster_stats(self) -> dict:

@@ -355,6 +355,9 @@ class DistRuntime(ProcRuntime):
         placement_policy: Any = None,
         spillover_policy: Any = None,
         steal_policy: Any = None,
+        control_shards: int = 8,
+        control_store: Any = None,
+        recover: bool = False,
     ) -> None:
         cluster = cluster or ClusterSpec.uniform(num_nodes=2, num_cpus=2)
         num_nodes = cluster.num_nodes
@@ -429,6 +432,9 @@ class DistRuntime(ProcRuntime):
                 placement_policy=placement_policy,
                 spillover_policy=spillover_policy,
                 steal_policy=steal_policy,
+                control_shards=control_shards,
+                control_store=control_store,
+                recover=recover,
             )
         except BaseException:
             self._teardown_links()
@@ -564,6 +570,12 @@ class DistRuntime(ProcRuntime):
         # (and re-tracking) dead segments; the tracker entry the dead
         # agent registered (spawned children share the driver's tracker
         # daemon) is dropped too, silencing its at-exit leak warning.
+        self._unlink_dead_segments()
+        self._completions.stop()
+        if self._owns_control:
+            self._control.close()
+
+    def _unlink_dead_segments(self) -> None:
         for link in self._links:
             for name in link.segments:
                 try:
@@ -578,6 +590,32 @@ class DistRuntime(ProcRuntime):
                     )
                 except Exception:  # noqa: BLE001 - tracker impl detail
                     pass
+
+    def fail_driver(self) -> None:
+        """Fault injection: die like a crashed driver (dist flavor).
+
+        Kills the node agents and every driver-side thread, but NEVER the
+        control store — by design it outlives the driver so a fresh
+        runtime can recover the workload from it (``control_store=store,
+        recover=True``).
+        """
+        if self.closed:
+            return
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=2.0)
+        # No graceful SHUTDOWN_NODE round: a crashing driver just vanishes
+        # and the agents die on link EOF.
+        self._teardown_links()
+        for worker in self._workers:
+            if worker is not None and worker.thread is not None:
+                worker.thread.join(timeout=5.0)
+        for link in self._links:
+            link.join_threads()
+        self._unlink_dead_segments()
         self._completions.stop()
 
     # ------------------------------------------------------------------
@@ -751,6 +789,24 @@ class DistRuntime(ProcRuntime):
     def _object_arrived(self, object_id) -> None:
         self._reconstructing.discard(object_id)
         super()._object_arrived(object_id)
+
+    def _control_note_arrival(self, object_id) -> None:
+        entry = self._node_resident.get(object_id)
+        if entry is not None:
+            # Descriptor-only residency: the control store records where
+            # the bytes live, not the bytes — a recovered driver re-runs
+            # the producer (the arena died with the node agents).
+            node_index, size = entry
+            spec = self._node_producers.get(object_id)
+            self._control.async_object_put(
+                object_id,
+                size=size,
+                location=f"node-{node_index}",
+                ready=True,
+                producer_task=spec.task_id if spec is not None else None,
+            )
+            return
+        super()._control_note_arrival(object_id)
 
     # ------------------------------------------------------------------
     # Inter-node transfer: descriptor-first, pull on demand
@@ -1118,7 +1174,13 @@ class DistRuntime(ProcRuntime):
         requeued: set = set()
         for object_id in lost:
             self._node_resident.pop(object_id, None)
-            if self._has_object(object_id):
+            survived = self._has_object(object_id)
+            self._control.async_object_put(
+                object_id,
+                drop_location=f"node-{link.node_index}",
+                ready=True if survived else False,
+            )
+            if survived:
                 continue  # a pulled copy survives in the driver store
             self._object_lost_on_node(object_id, link.node_index, requeued)
 

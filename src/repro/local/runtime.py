@@ -62,6 +62,7 @@ from repro.core.worker import (
     split_result_values,
 )
 from repro.errors import BackendError, GetTimeoutError
+from repro.gcs import ControlStore
 from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
 from repro.sched_plane import SchedCounters, WorkerCandidate, plan_placement
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
@@ -131,8 +132,14 @@ class LocalRuntime:
         placement_policy: Optional[PlacementPolicy] = None,
         spillover_policy: Optional[SpilloverPolicy] = None,
         steal_policy: Optional[StealPolicy] = None,
+        control_shards: int = 8,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
+        if not isinstance(control_shards, int) or control_shards < 1:
+            raise BackendError(
+                f"invalid init option control_shards={control_shards!r} for "
+                "backend 'local'; must be a positive integer"
+            )
         if dispatch_mode not in DISPATCH_MODES:
             raise BackendError(
                 f"invalid init option dispatch_mode={dispatch_mode!r} for "
@@ -152,6 +159,8 @@ class LocalRuntime:
         self._sched = SchedCounters()
         self.ids = IDGenerator(namespace=f"repro-local/{seed}")
         self.closed = False
+        self._control = ControlStore(num_shards=control_shards)
+        self._control.register_generation()
 
         self._lock = threading.RLock()
         self._ready_cond = threading.Condition(self._lock)
@@ -239,6 +248,10 @@ class LocalRuntime:
     def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
         """Gate on unproduced dependencies, else enqueue (shared protocol)."""
         with self._lock:
+            # Write-ahead lineage, same contract as the proc/dist backends.
+            self._control.task_put(
+                spec.task_id, spec, node=self._current_node_id()
+            )
             self._lifecycle.register(spec)
             missing = {
                 dep for dep in spec.dependencies() if dep not in self._objects
@@ -284,6 +297,12 @@ class LocalRuntime:
             spec.placement_hint = home.node_id
             record = self.actors.create(
                 actor_id, class_name, resources, home.node_id, name=name
+            )
+            self._control.actor_register(
+                actor_id,
+                spec={"class_name": class_name, "resources": resources},
+                name=name,
+                node=home.node_id,
             )
             chain_submission(record, spec)
             record.handle = handle_for(record, actor_class)
@@ -414,6 +433,7 @@ class LocalRuntime:
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
                 "serve": serve_stats(self._serve_pools, self._completions),
+                "control": self._control.stats(),
                 # Cluster view with the dist backend's keys.  Threads share
                 # one address space, so no object is ever *node*-resident
                 # and nothing can cross a node boundary; nodes here are
@@ -472,6 +492,7 @@ class LocalRuntime:
         # Fire any still-pending watches (their callbacks observe the
         # closed runtime and fail their requests) and stop the pump.
         self._completions.stop()
+        self._control.close()
 
     # ------------------------------------------------------------------
     # Scheduling internals (lock held unless noted)
@@ -564,6 +585,9 @@ class LocalRuntime:
         """Insert an object and wake dependents/waiters/watchers."""
         with self._ready_cond:
             self._objects[object_id] = data
+            self._control.async_object_put(
+                object_id, size=len(data), location="local", ready=True
+            )
             for spec in self._deps.mark_ready(object_id):
                 self._enqueue_runnable(spec)
             self._completions.notify(object_id)
@@ -674,8 +698,16 @@ class LocalRuntime:
         with self._ready_cond:
             if self._lifecycle.is_cancelled(spec.task_id):
                 return  # the cancellation marker owns the slots
+            self._control.async_task_update(spec.task_id, state="finished")
             for object_id, data in zip(spec.all_return_ids(), datas):
                 self._objects[object_id] = data
+                self._control.async_object_put(
+                    object_id,
+                    size=len(data),
+                    location="local",
+                    ready=True,
+                    producer_task=spec.task_id,
+                )
                 for waiting in self._deps.mark_ready(object_id):
                     self._enqueue_runnable(waiting)
                 self._completions.notify(object_id)

@@ -108,6 +108,7 @@ from repro.errors import (
     ObjectLostError,
     ReproError,
 )
+from repro.gcs import ControlStore, plan_recovery
 from repro.objectstore.store import LocalObjectStore
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
@@ -243,6 +244,9 @@ class ProcRuntime:
         placement_policy: Optional[PlacementPolicy] = None,
         spillover_policy: Optional[SpilloverPolicy] = None,
         steal_policy: Optional[StealPolicy] = None,
+        control_shards: int = 8,
+        control_store: Optional[ControlStore] = None,
+        recover: bool = False,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
         if dispatch_mode not in DISPATCH_MODES:
@@ -274,8 +278,35 @@ class ProcRuntime:
                 "backend 'proc'; must be a non-negative integer (0 disables "
                 "the shared-memory data plane)"
             )
+        #: The control plane (the paper's GCS): lineage, object directory,
+        #: actor registry, scheduler-visible state — hash-sharded behind
+        #: striped locks instead of hanging off the driver lock.  A store
+        #: passed in from outside outlives this runtime (driver HA).
+        if control_store is not None:
+            self._control = control_store
+            self._owns_control = False
+        else:
+            if not isinstance(control_shards, int) or control_shards < 1:
+                raise BackendError(
+                    f"invalid init option control_shards={control_shards!r} "
+                    "for backend 'proc'; must be a positive integer"
+                )
+            if recover:
+                raise BackendError(
+                    "recover=True requires control_store= (the store that "
+                    "outlived the failed driver)"
+                )
+            self._control = ControlStore(num_shards=control_shards)
+            self._owns_control = True
+        self._recover_requested = recover
+        #: Generation salt: a recovered driver must never mint an id the
+        #: dead one already handed out (same seed ⇒ same id stream).
+        self._generation = self._control.register_generation()
         self.seed = seed
-        self.ids = IDGenerator(namespace=f"repro-proc/{seed}")
+        namespace = f"repro-proc/{seed}"
+        if self._generation > 1:
+            namespace = f"{namespace}/gen{self._generation}"
+        self.ids = IDGenerator(namespace=namespace)
         self.closed = False
         self._crash_policy = worker_crash_policy
         self._inline_threshold = inline_threshold
@@ -356,6 +387,8 @@ class ProcRuntime:
                 self._workers.append(None)  # type: ignore[arg-type]
                 self._spawn_worker(index)
         self.node_ids = [self.head_node_id]
+        if self._recover_requested:
+            self._recover_from_control()
 
     # ------------------------------------------------------------------
     # Backend protocol: registration and submission
@@ -402,7 +435,13 @@ class ProcRuntime:
             return spec.public_result()
 
     def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
-        """Gate on unproduced dependencies, else enqueue (lock held)."""
+        """Gate on unproduced dependencies, else enqueue (lock held).
+
+        The control write is the write-ahead lineage record: synchronous,
+        and strictly before the task can reach any worker, so a crash at
+        any later point finds the spec in the task table and can replay.
+        """
+        self._control.task_put(spec.task_id, spec, node=self.head_node_id)
         self._lifecycle.register(spec)
         missing = {
             dep for dep in spec.dependencies() if not self._has_object(dep)
@@ -508,6 +547,12 @@ class ProcRuntime:
             record = self.actors.create(
                 actor_id, class_name, resources, home.node_id, name=name
             )
+            self._control.actor_register(
+                actor_id,
+                spec={"class_name": class_name, "resources": resources},
+                name=name,
+                node=home.node_id,
+            )
             home.actors_bound += 1
             chain_submission(record, spec)
             handle = handle_for(record, actor_class)
@@ -546,6 +591,7 @@ class ProcRuntime:
                 self.head_node_id, num_returns=num_returns,
             )
             chain_submission(record, spec)
+            self._control.async_actor_update(actor_id, method_inc=True)
             self._submit_spec(spec)
             return spec.public_result()
 
@@ -720,6 +766,7 @@ class ProcRuntime:
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
                 "serve": serve_stats(self._serve_pools, self._completions),
+                "control": self._control.stats(),
                 # Degenerate one-node cluster view: same keys as the dist
                 # backend (which overrides this section), so harnesses can
                 # branch on stats()["cluster"] without caring which real
@@ -831,6 +878,120 @@ class ProcRuntime:
             # — even after worker crashes.
             self._shm.shutdown()
         self._completions.stop()
+        if self._owns_control:
+            self._control.close()
+
+    def fail_driver(self) -> None:
+        """Fault injection: die like a crashed driver process.
+
+        Tears down everything the driver owns — worker pool, service
+        threads, shm segments — but NEVER the control store, which by
+        design outlives the driver.  A fresh runtime constructed with
+        ``control_store=<same store>, recover=True`` picks up the
+        workload (see :mod:`repro.gcs.recovery`).
+        """
+        if self.closed:
+            return
+        with self._cond:
+            self.closed = True
+            workers = [w for w in self._workers if w is not None]
+            self._cond.notify_all()
+        # A crashing driver does not say goodbye: hard-kill the pool.
+        for worker in workers:
+            if worker.process is not None and worker.alive:
+                worker.process.kill()
+        for worker in workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout=5.0)
+        for worker in workers:
+            if worker.process is not None:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if self._shm is not None:
+            self._shm.shutdown()
+        self._completions.stop()
+        # Not ours to close even when _owns_control: the test of HA is
+        # that the store keeps working after the driver is gone.
+
+    def _recover_from_control(self) -> None:
+        """Execute the dead driver's :func:`plan_recovery` plan (end of
+        ``__init__``: workers are up, nothing is in flight yet)."""
+        plan = plan_recovery(self._control)
+        with self._cond:
+            for object_id, payload in plan.ready_payloads.items():
+                if not self._has_object(object_id):
+                    self._store_bytes(object_id, payload)
+            for object_id in plan.unrecoverable:
+                # A large driver ``put`` has no lineage to replay: an
+                # error marker beats a ``get`` that hangs forever.
+                self._store_bytes(
+                    object_id,
+                    serialize(
+                        ErrorValue(
+                            task_id=None,
+                            function_name="driver",
+                            cause_repr=(
+                                f"object {object_id} was lost with the failed "
+                                "driver: no inline payload in the control "
+                                "store and no producing task to replay"
+                            ),
+                            chain=("driver",),
+                        )
+                    ),
+                )
+            for entry in plan.actor_entries:
+                if self.actors.get(entry.actor_id) is not None:
+                    continue
+                record = self.actors.create(
+                    entry.actor_id,
+                    entry.spec["class_name"],
+                    entry.spec["resources"],
+                    None,
+                    name=entry.name,
+                )
+                # Provenance without state: the live instance died with
+                # the old driver's worker pool.
+                record.dead = True
+                record.instance = None
+            for spec in plan.pending_specs:
+                if spec.actor_id is not None:
+                    record = self.actors.get(spec.actor_id)
+                    error = (
+                        actor_lost_error_value(spec, record)
+                        if record is not None
+                        else ErrorValue(
+                            task_id=spec.task_id,
+                            function_name=spec.function_name,
+                            cause_repr="actor state lost with the failed driver",
+                            chain=(spec.function_name,),
+                            kind="actor_lost",
+                            actor_id=spec.actor_id,
+                        )
+                    )
+                    self._store_error_all_returns(spec, error)
+                else:
+                    self._submit_spec(spec)
+            for spec, payload in plan.pending_payloads:
+                self._control.task_put(
+                    spec.task_id, {"spec": spec, "payload": payload}
+                )
+                self._payloads[spec.task_id] = payload
+                self._lifecycle.register(spec)
+                missing = {
+                    dep for dep in spec.dependencies()
+                    if not self._has_object(dep)
+                }
+                if missing:
+                    self._deps.add(spec, missing)
+                else:
+                    self._enqueue(spec)
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Worker pool internals
@@ -1211,6 +1372,14 @@ class ProcRuntime:
                 self._lifecycle.register(spec)
                 worker.mirror.push(spec.task_id, spec)
                 self._payloads[spec.task_id] = payload
+                # Worker-born lineage: async by design (the fast path is
+                # already acked one-way); the wire payload is the replay
+                # form, the spec the bookkeeping form.
+                self._control.async_task_put(
+                    spec.task_id,
+                    {"spec": spec, "payload": payload},
+                    node=worker.node_id,
+                )
                 self._sched.tasks_placed_local += 1
                 placed_ids.append(spec.task_id)
             self._cond.notify_all()  # idle thieves may now see a victim
@@ -1230,6 +1399,7 @@ class ProcRuntime:
                     self._payloads.pop(task_id, None)
                     continue
                 self._sched.tasks_stolen += 1
+                self._control.async_task_update(task_id, state="stolen")
                 self._queue.append(spec)
             self._cond.notify_all()
 
@@ -1427,6 +1597,11 @@ class ProcRuntime:
         the spec is already off the inflight stack / mirror)."""
         worker.tasks_done += 1
         self._tasks_executed += 1
+        self._control.async_task_update(
+            spec.task_id,
+            state="failed" if failed else "finished",
+            node=worker.node_id,
+        )
         self._acct_results.record(
             sum(len(data) for data in blobs if not isinstance(data, ShmDescriptor))
         )
@@ -1437,6 +1612,9 @@ class ProcRuntime:
                     # The live instance exists in the worker process;
                     # the driver records only that binding.
                     register_instance(record, REMOTE_INSTANCE, worker.node_id)
+                    self._control.async_actor_update(
+                        spec.actor_id, state="alive", node=worker.node_id
+                    )
                 else:
                     record.methods_executed += 1
         if self._lifecycle.is_cancelled(spec.task_id):
@@ -1810,10 +1988,33 @@ class ProcRuntime:
     def _object_arrived(self, object_id: ObjectID) -> None:
         """Wake dependents, waiters, and watchers of a newly resident
         object, whichever plane it landed in (lock held)."""
+        self._control_note_arrival(object_id)
         for spec in self._deps.mark_ready(object_id):
             self._enqueue(spec)
         self._completions.notify(object_id)
         self._cond.notify_all()
+
+    def _control_note_arrival(self, object_id: ObjectID) -> None:
+        """Async residency update into the object table (lock held).
+        Small payloads ride along inline — that is what a recovered
+        driver restores without re-executing producers."""
+        data = self._store.get(object_id)
+        if data is not None:
+            payload = bytes(data) if len(data) <= self._inline_threshold else None
+            self._control.async_object_put(
+                object_id,
+                size=len(data),
+                location="driver",
+                ready=True,
+                payload=payload,
+            )
+            return
+        if self._shm is not None:
+            size = self._shm.size_of(object_id)
+            if size:
+                self._control.async_object_put(
+                    object_id, size=size, location="driver-shm", ready=True
+                )
 
     def watch_object(self, object_id: ObjectID, callback) -> None:
         """Event-driven completion: ``callback(object_id)`` fires exactly
@@ -1962,6 +2163,9 @@ class ProcRuntime:
         if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
             self._replays[spec.task_id] = attempts + 1
             self._lineage_replays += 1
+            self._control.async_task_update(
+                spec.task_id, state="replaying", attempt=True
+            )
             # Worker-born tasks keep their _payloads entry: the replay
             # dispatch reships the exact payload the dead worker built.
             self._queue.append(spec)

@@ -11,79 +11,20 @@ state writes — mirroring how the prototype wrote to Redis asynchronously.
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.cluster.costs import SystemCosts
 from repro.cluster.network import NetworkModel
+
+# The table rows (and shard hash) are shared verbatim with the real
+# backends' ControlStore (repro.gcs) — one schema, two planes.
+from repro.gcs.tables import NodeInfo, ObjectEntry, TaskEntry
+from repro.gcs.tables import hash_key as _hash_key
 from repro.sim.core import Delay, Resource, Simulator
 from repro.store.event_log import EventLog
-from repro.utils.ids import BaseID, FunctionID, NodeID, ObjectID, TaskID
+from repro.utils.ids import FunctionID, NodeID, ObjectID, TaskID
 
-
-@dataclass
-class ObjectEntry:
-    """Object-table row: where an object lives and who produced it."""
-
-    object_id: ObjectID
-    size: int = 0
-    locations: set = field(default_factory=set)
-    producer_task: Optional[TaskID] = None
-    ready: bool = False
-
-    def snapshot(self) -> "ObjectEntry":
-        return ObjectEntry(
-            object_id=self.object_id,
-            size=self.size,
-            locations=set(self.locations),
-            producer_task=self.producer_task,
-            ready=self.ready,
-        )
-
-
-@dataclass
-class TaskEntry:
-    """Task-table row: the full spec (= lineage) plus execution state."""
-
-    task_id: TaskID
-    spec: Any
-    state: str = "submitted"
-    node: Optional[NodeID] = None
-    timestamps: dict = field(default_factory=dict)
-    attempts: int = 0
-
-    def snapshot(self) -> "TaskEntry":
-        return TaskEntry(
-            task_id=self.task_id,
-            spec=self.spec,
-            state=self.state,
-            node=self.node,
-            timestamps=dict(self.timestamps),
-            attempts=self.attempts,
-        )
-
-
-@dataclass
-class NodeInfo:
-    """Latest heartbeat from one node's local scheduler."""
-
-    node_id: NodeID
-    num_cpus: int = 0
-    num_gpus: int = 0
-    available_cpus: int = 0
-    available_gpus: int = 0
-    queue_length: int = 0
-    last_heartbeat: float = 0.0
-    alive: bool = True
-
-
-def _hash_key(key: Any) -> int:
-    """Stable shard hash for IDs and strings."""
-    if isinstance(key, BaseID):
-        return int(key.hex[:8], 16)
-    digest = hashlib.sha1(str(key).encode("utf-8")).hexdigest()
-    return int(digest[:8], 16)
+__all__ = ["ControlPlane", "NodeInfo", "ObjectEntry", "TaskEntry"]
 
 
 class ControlPlane:
@@ -122,6 +63,13 @@ class ControlPlane:
         #: Operation counters for the throughput experiments (E6).
         self.ops_total = 0
         self.ops_per_shard = [0] * num_shards
+        #: Contention instrumentation (the uniform stats()["control"] keys
+        #: every backend reports; see repro.gcs.store.ControlStore.stats).
+        self._shard_waiting = [0] * num_shards
+        self.max_shard_queue = 0
+        self.contended_ops = 0
+        self._async_inflight = 0
+        self.async_backlog_max = 0
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -135,7 +83,13 @@ class ControlPlane:
         yield Delay(self.network.latency(from_node, self.head_node))
         shard_index = self._shard_for(key)
         shard = self._shards[shard_index]
+        if shard.in_use >= shard.capacity:
+            self.contended_ops += 1
+        self._shard_waiting[shard_index] += 1
+        if self._shard_waiting[shard_index] > self.max_shard_queue:
+            self.max_shard_queue = self._shard_waiting[shard_index]
         yield shard.request()
+        self._shard_waiting[shard_index] -= 1
         try:
             yield Delay(self.costs.gcs_op_service)
             result = apply_fn()
@@ -148,7 +102,31 @@ class ControlPlane:
 
     def _async(self, op: Generator, name: str) -> None:
         """Run an operation as a detached fire-and-forget process."""
-        self.sim.spawn(op, name=name)
+        self.sim.spawn(self._tracked_async(op), name=name)
+
+    def _tracked_async(self, op: Generator) -> Generator:
+        self._async_inflight += 1
+        if self._async_inflight > self.async_backlog_max:
+            self.async_backlog_max = self._async_inflight
+        try:
+            yield from op
+        finally:
+            self._async_inflight -= 1
+
+    def control_stats(self) -> dict:
+        """The uniform ``stats()["control"]`` section (same keys as the
+        real backends' :meth:`repro.gcs.store.ControlStore.stats`)."""
+        return {
+            "num_shards": self.num_shards,
+            "ops_total": self.ops_total,
+            "ops_per_shard": list(self.ops_per_shard),
+            "max_shard_queue": self.max_shard_queue,
+            "contended_ops": self.contended_ops,
+            "event_log_len": len(self.event_log),
+            "async_backlog": self._async_inflight,
+            "async_backlog_max": self.async_backlog_max,
+            "generation": 1,
+        }
 
     def log(self, kind: str, **payload: Any) -> None:
         """Append to the event log at the current virtual time (R7)."""

@@ -13,7 +13,7 @@ a pure consumer of the event log and control-plane state:
 """
 
 from repro.tools.dashboard import ClusterDashboard
-from repro.tools.diagnosis import diagnose
+from repro.tools.diagnosis import diagnose, lookup_object, lookup_task, task_events
 from repro.tools.profiler import FunctionStats, TaskProfiler
 from repro.tools.timeline import export_chrome_trace, task_spans
 from repro.tools.report import run_report
@@ -27,6 +27,9 @@ __all__ = [
     "FunctionStats",
     "ClusterDashboard",
     "diagnose",
+    "lookup_task",
+    "lookup_object",
+    "task_events",
     "utilization",
     "UtilizationProfile",
     "render_gantt",

@@ -5,11 +5,79 @@ table and event log, a raised :class:`~repro.errors.TaskError` can be
 expanded post-hoc into the full story of the failing task — which node ran
 it, how many attempts it made, what it depended on — without re-running
 anything (R7).
+
+The lookups go through the uniform shard API: live backends expose the
+real :class:`~repro.gcs.ControlStore` (``runtime._control``), the sim
+keeps its modeled :class:`~repro.store.control_plane.ControlPlane` —
+both answer the same entry shapes (shared dataclasses in
+:mod:`repro.gcs.tables`).
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Optional
+
 from repro.errors import TaskError
+
+
+def lookup_task(runtime, task_id):
+    """Task-table entry for ``task_id`` on any backend (None if unknown)."""
+    store = getattr(runtime, "_control", None)
+    if store is not None:
+        return store.task_get(task_id)
+    plane = getattr(runtime, "control_plane", None)
+    if plane is not None:
+        return plane.debug_task(task_id)
+    return None
+
+
+def lookup_object(runtime, object_id):
+    """Object-table entry for ``object_id`` on any backend (None if unknown)."""
+    store = getattr(runtime, "_control", None)
+    if store is not None:
+        return store.object_get(object_id)
+    plane = getattr(runtime, "control_plane", None)
+    if plane is not None:
+        return plane.debug_object(object_id)
+    return None
+
+
+def task_events(runtime, task_id) -> list:
+    """Event-log records about ``task_id``, oldest first, any backend."""
+    store = getattr(runtime, "_control", None)
+    if store is not None:
+        key = str(task_id)
+        return [r for r in store.events() if r.get("key") == key]
+    log = getattr(runtime, "event_log", None)
+    if log is not None:
+        return log.filter(
+            predicate=lambda r: str(r.get("task_id")) == str(task_id)
+        )
+    return []
+
+
+def debug_task(runtime, task_id):
+    """Deprecated: use :func:`lookup_task` (reads the shard API)."""
+    warnings.warn(
+        "repro.tools.diagnosis.debug_task is deprecated; use lookup_task(), "
+        "which reads through the sharded control-store API on every backend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return lookup_task(runtime, task_id)
+
+
+def debug_object(runtime, object_id):
+    """Deprecated: use :func:`lookup_object` (reads the shard API)."""
+    warnings.warn(
+        "repro.tools.diagnosis.debug_object is deprecated; use "
+        "lookup_object(), which reads through the sharded control-store API "
+        "on every backend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return lookup_object(runtime, object_id)
 
 
 def diagnose(error: TaskError, runtime) -> str:
@@ -18,7 +86,7 @@ def diagnose(error: TaskError, runtime) -> str:
         f"TaskError in {error.function_name!r} (task {error.task_id})",
         f"  cause: {error.cause_repr}",
     ]
-    entry = runtime.control_plane.debug_task(error.task_id)
+    entry = lookup_task(runtime, error.task_id)
     if entry is not None:
         lines.append(f"  final state: {entry.state} after {entry.attempts} attempt(s)")
         if entry.node is not None:
@@ -30,11 +98,14 @@ def diagnose(error: TaskError, runtime) -> str:
                 )
             )
             lines.append(f"  lifecycle: {history}")
-        if entry.spec is not None:
-            deps = entry.spec.dependencies()
+        spec = entry.spec
+        if isinstance(spec, dict):  # worker-born: {"spec": ..., "payload": ...}
+            spec = spec.get("spec")
+        if spec is not None:
+            deps = spec.dependencies()
             lines.append(f"  dependencies: {len(deps)}")
             for dep in deps:
-                obj = runtime.control_plane.debug_object(dep)
+                obj = lookup_object(runtime, dep)
                 if obj is None:
                     lines.append(f"    {dep}: unknown")
                 else:
@@ -43,9 +114,7 @@ def diagnose(error: TaskError, runtime) -> str:
                         f"locations={len(obj.locations)} "
                         f"producer={obj.producer_task}"
                     )
-    events = runtime.event_log.filter(
-        predicate=lambda r: str(r.get("task_id")) == str(error.task_id)
-    )
+    events = task_events(runtime, error.task_id)
     if events:
         lines.append("  events:")
         for record in events:

@@ -12,6 +12,7 @@ the worker PIDs — may differ.
 import pytest
 
 import repro
+from repro.api.runtime_context import get_runtime
 from repro.core.backend import registered_backends
 from repro.errors import GetTimeoutError, TaskCancelledError, TaskError
 
@@ -37,6 +38,9 @@ CONFIGS = {
     # parity program must not be able to tell it is running across
     # process *and* node boundaries.
     "dist": ("dist", {}),
+    # Sharded control store with a non-default (odd) stripe count: the
+    # program must be oblivious to how its control state is partitioned.
+    "proc+sharded_control": ("proc", {"control_shards": 3}),
 }
 
 #: Configs whose cancellation/lifecycle proofs are re-run per dispatch
@@ -361,6 +365,27 @@ def test_matrix_covers_all_shipped_backends():
 )
 def test_same_program_same_results(program_outcomes, config):
     assert program_outcomes[config] == program_outcomes[REFERENCE]
+
+
+def test_control_stats_keys_identical_across_backends():
+    """Every backend reports the same ``stats()["control"]`` schema: the
+    uniform window into the (modeled or real) sharded control store."""
+    key_sets = {}
+    for backend in BACKENDS:
+        repro.init(backend=backend, num_nodes=1, num_cpus=2, seed=3)
+        try:
+            repro.get([square.remote(i) for i in range(4)])
+            control = get_runtime().stats()["control"]
+        finally:
+            repro.shutdown()
+        key_sets[backend] = set(control)
+        assert control["num_shards"] >= 1, backend
+        assert control["ops_total"] >= 1, backend
+        assert len(control["ops_per_shard"]) == control["num_shards"], backend
+        assert control["generation"] >= 1, backend
+    reference = key_sets[REFERENCE]
+    for backend, keys in key_sets.items():
+        assert keys == reference, f"{backend} control stats keys diverge"
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
