@@ -1,0 +1,101 @@
+"""E13 — tracing-plane overhead: ``tracing=True`` must stay ≤10%.
+
+R7 says profiling tools should be easy to build; the premise of the live
+tracing plane (``src/repro/obs/``) is that they are also *cheap enough
+to leave on*.  Recording is an append to a bounded in-memory buffer and
+every flush piggybacks on a message the worker already sends — so the
+wall-clock cost of a traced run over an untraced one should disappear
+into the noise of real IPC.
+
+The bench drives the proc backend (real processes, the worst case for
+span transport: every record crosses a pipe) through a fan-out of small
+tasks — the shape where per-task overhead is most visible — with
+tracing off and on, back-to-back in the same window, for ``ROUNDS``
+rounds.  Scoring the best round cancels transient host noise the same
+way e12 does for its throughput ratio.  The bar is ≤10% overhead, with
+zero dropped spans at the default buffer sizes.
+"""
+
+import time
+
+from _artifacts import emit_bench_json
+from _tables import print_table
+
+import repro
+
+NUM_WORKERS = 2
+TASKS_PER_ROUND = 200
+WAVES = 4          # submit/get in waves so the driver loop stays hot
+ROUNDS = 3
+OVERHEAD_MAX_PCT = 10.0
+
+
+@repro.remote
+def tick(x):
+    return x + 1
+
+
+def _run_once(tracing: bool) -> tuple:
+    """One measured session: returns (elapsed_s, obs_stats)."""
+    runtime = repro.init(
+        backend="proc", num_workers=NUM_WORKERS, tracing=tracing
+    )
+    # Warm the pool (spawn, imports, first dispatch) outside the window.
+    repro.get([tick.remote(i) for i in range(NUM_WORKERS * 4)], timeout=60.0)
+
+    per_wave = TASKS_PER_ROUND // WAVES
+    start = time.perf_counter()
+    for _ in range(WAVES):
+        repro.get([tick.remote(i) for i in range(per_wave)], timeout=60.0)
+    elapsed = time.perf_counter() - start
+
+    obs = runtime.stats()["obs"]
+    repro.shutdown()
+    return elapsed, obs
+
+
+def test_e13_tracing_overhead(benchmark):
+    def _sweep():
+        rounds = []
+        for _ in range(ROUNDS):
+            off, _ = _run_once(tracing=False)
+            on, obs = _run_once(tracing=True)
+            rounds.append({"off": off, "on": on, "obs": obs})
+        return min(rounds, key=lambda row: row["on"] / row["off"])
+
+    best = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    overhead_pct = (best["on"] / best["off"] - 1.0) * 100.0
+    obs = best["obs"]
+
+    print_table(
+        f"E13: proc backend, {TASKS_PER_ROUND} small tasks on "
+        f"{NUM_WORKERS} workers, best of {ROUNDS}",
+        ["mode", "wall time", "spans", "dropped"],
+        [
+            ("tracing=False", f"{best['off'] * 1e3:,.1f} ms", "-", "-"),
+            ("tracing=True", f"{best['on'] * 1e3:,.1f} ms",
+             f"{obs['spans_recorded']}", f"{obs['spans_dropped']}"),
+            ("overhead", f"{overhead_pct:+.1f}%", "", ""),
+        ],
+    )
+
+    assert obs["spans_dropped"] == 0, (
+        f"{obs['spans_dropped']} spans dropped at default buffer sizes"
+    )
+    assert obs["spans_recorded"] > 0
+    assert overhead_pct <= OVERHEAD_MAX_PCT, (
+        f"tracing=True costs {overhead_pct:.1f}% on small tasks "
+        f"(bar: {OVERHEAD_MAX_PCT:.0f}%)"
+    )
+
+    emitted = {
+        "untraced_s": round(best["off"], 4),
+        "traced_s": round(best["on"], 4),
+        "tracing_overhead_pct": round(overhead_pct, 2),
+        "spans_recorded": obs["spans_recorded"],
+        "spans_dropped": obs["spans_dropped"],
+        "tasks_per_round": TASKS_PER_ROUND,
+        "rounds": ROUNDS,
+    }
+    benchmark.extra_info.update(emitted)
+    emit_bench_json("e13", emitted)

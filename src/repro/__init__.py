@@ -58,6 +58,8 @@ from repro.api import (
     remote,
     shutdown,
     sleep,
+    timeline,
+    trace_report,
     wait,
 )
 from repro.core.effects import (
@@ -108,6 +110,8 @@ __all__ = [
     "as_completed",
     "sleep",
     "now",
+    "timeline",
+    "trace_report",
     "ObjectRef",
     "Compute",
     "Get",

@@ -229,6 +229,38 @@ successor systems' extensions (6–8):
     >>> repro.shutdown()
     >>> store.close()
 
+14. the live system is **as inspectable as the sim** (:mod:`repro.obs`):
+    ``init(..., tracing=True)`` on any real backend makes every process
+    that does work — the driver, each proc worker, each dist node agent
+    — record wall-clock task-lifecycle spans into a local buffer,
+    flushed out-of-band (piggybacked on messages already in flight) and
+    merged driver-side onto one clock-calibrated timeline.  The result
+    feeds the *same* ``EventLog`` the sim always had, so one tool chain
+    — ``repro.timeline()`` (Chrome ``about:tracing`` JSON),
+    ``repro.trace_report()``, ``TaskProfiler``, ``utilization`` — works
+    identically on simulated and real runs, and ``stats()["obs"]``
+    reports the same shape (``spans_recorded`` / ``spans_dropped`` /
+    ``clock_skew_est``) on all four backends.  Recording is off the hot
+    path (append to a bounded in-memory buffer; ``tracing=False``
+    costs one attribute check) and drops are counted, never silent:
+
+    >>> import repro
+    >>> runtime = repro.init(backend="proc", num_workers=2, tracing=True)
+    >>> @repro.remote
+    ... def work(x):
+    ...     return x * x
+    >>> repro.get([work.remote(i) for i in range(4)], timeout=60.0)
+    [0, 1, 4, 9]
+    >>> events = repro.timeline()        # list of Chrome trace events
+    >>> sum(e["ph"] == "X" for e in events) >= 4
+    True
+    >>> obs = runtime.stats()["obs"]
+    >>> (obs["enabled"], obs["spans_dropped"])
+    (True, 0)
+    >>> "task profile" in repro.trace_report()
+    True
+    >>> repro.shutdown()
+
 All of it runs identically on every registered backend; see
 :mod:`repro.core.backend`.
 """
@@ -247,6 +279,8 @@ from repro.api.runtime_context import (
     put,
     shutdown,
     sleep,
+    timeline,
+    trace_report,
     wait,
 )
 from repro.core.actors import ActorClass, ActorHandle, ActorMethod, ActorOptions
@@ -274,5 +308,7 @@ __all__ = [
     "as_completed",
     "sleep",
     "now",
+    "timeline",
+    "trace_report",
     "ActorPool",
 ]

@@ -49,7 +49,10 @@ def init(backend: str = "sim", **kwargs: Any):
         baseline and the local default) plus ``placement_policy``,
         ``spillover_policy``, and ``steal_policy`` objects from
         :mod:`repro.scheduling.policies`; scheduler counters surface in
-        ``get_runtime().stats()["sched"]``.
+        ``get_runtime().stats()["sched"]``.  All live backends accept
+        ``tracing=True`` to collect a wall-clock event log across every
+        process (see :mod:`repro.obs`); the sim's log is always on.
+        Every backend reports ``stats()["obs"]`` either way.
     """
     global _current_runtime
     if _current_runtime is not None:
@@ -183,3 +186,39 @@ def sleep(duration: float) -> None:
 def now() -> float:
     """Current time in the runtime's clock (virtual seconds on sim)."""
     return get_runtime().now
+
+
+def timeline(path: Optional[str] = None) -> list:
+    """The current runtime's trace as Chrome ``about:tracing`` events.
+
+    Works on any backend with an event log: the sim's always-on log, or
+    a live backend started with ``tracing=True``.  Each task execution
+    becomes a complete ("X") event — the node is the process row, the
+    worker the thread row.  ``path`` additionally writes the JSON file
+    ``chrome://tracing`` / Perfetto loads directly.  Raises
+    :class:`~repro.errors.BackendError` when the runtime has no trace
+    (live backend without ``tracing=True``).
+    """
+    from repro.obs import resolve_event_log
+    from repro.tools.timeline import export_chrome_trace
+
+    runtime = get_runtime()
+    log = resolve_event_log(runtime)
+    if log is None:
+        raise BackendError(
+            f"no trace on this {type(runtime).__name__}: pass tracing=True "
+            "to repro.init(...) to collect one"
+        )
+    return export_chrome_trace(log, path=path)
+
+
+def trace_report(include_gantt: bool = False) -> str:
+    """The full post-run text report for the current runtime.
+
+    Delegates to :func:`repro.tools.report.run_report`; on a runtime
+    without an event log the trace sections degrade to a note naming
+    the ``tracing=True`` knob instead of raising.
+    """
+    from repro.tools.report import run_report
+
+    return run_report(get_runtime(), include_gantt=include_gantt)

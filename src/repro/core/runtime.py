@@ -85,6 +85,7 @@ class SimRuntime:
         enable_failure_monitor: bool = True,
         seed: int = 0,
         max_events_per_call: Optional[int] = 50_000_000,
+        tracing: bool = True,
     ) -> None:
         if scheduler_mode not in _SCHEDULER_MODES:
             raise ValueError(
@@ -101,6 +102,15 @@ class SimRuntime:
         self.enable_reconstruction = enable_reconstruction
         self.max_events_per_call = max_events_per_call
         self.seed = seed
+        #: Accepted for init() parity with the live backends.  The sim's
+        #: event log is its own determinism record, so tracing is always
+        #: on here; ``tracing=False`` is not supported.
+        if not tracing:
+            raise ValueError(
+                "the sim backend always traces (its event log is the "
+                "determinism record); tracing=False is not supported"
+            )
+        self.tracing = True
 
         self.sim = Simulator()
         self.ids = IDGenerator(namespace=f"repro/{seed}")
@@ -816,6 +826,15 @@ class SimRuntime:
             "serve": serve_stats(self._serve_pools),
             "cluster": self._cluster_stats(),
             "control": self.control_plane.control_stats(),
+            # Tracing-plane parity with the live backends: the sim's log
+            # is always on and written in-process (no flushes, no skew).
+            "obs": {
+                "enabled": True,
+                "spans_recorded": len(self.event_log) + self.event_log.dropped,
+                "spans_dropped": self.event_log.dropped,
+                "flushes": 0,
+                "clock_skew_est": 0.0,
+            },
         }
 
     def _cluster_stats(self) -> dict:

@@ -265,6 +265,13 @@ class TaskSpec:
     #: ``function`` field holds the class itself).
     actor_id: Optional[Any] = None
     actor_method: Optional[str] = None
+    #: Trace context (the tracing plane's span tree): the driver-born
+    #: task this one transitively descends from, and the immediate
+    #: submitting task.  ``build_task_spec`` roots a task with no
+    #: inherited context at itself; ``parent_task_id`` stays None for
+    #: driver-born tasks.
+    root_task_id: Optional[Any] = None
+    parent_task_id: Optional[Any] = None
 
     def dependencies(self) -> list[ObjectID]:
         """Object IDs gating this task (argument futures + ordering deps)."""
@@ -327,16 +334,21 @@ def build_task_spec(
     kwargs: dict,
     options: TaskOptions,
     submitted_from: Optional[NodeID] = None,
+    root_task_id: Optional[Any] = None,
+    parent_task_id: Optional[Any] = None,
 ) -> TaskSpec:
     """The one spec builder every backend's ``submit_task`` shares.
 
     Allocates the task id and all ``num_returns`` return object ids and
     applies the option set (including the ``name`` display override), so
     a new submission knob lands here once instead of in three runtimes.
+    A task submitted outside any running task (``root_task_id=None``)
+    roots its own trace: its trace context is its own id.
     """
     return_ids = tuple(ids.object_id() for _ in range(options.num_returns))
+    task_id = ids.task_id()
     return TaskSpec(
-        task_id=ids.task_id(),
+        task_id=task_id,
         function_id=function_id,
         function_name=options.name or function_name,
         function=function,
@@ -350,4 +362,6 @@ def build_task_spec(
         submitted_from=submitted_from,
         placement_hint=options.placement_hint,
         max_reconstructions=options.max_reconstructions,
+        root_task_id=root_task_id if root_task_id is not None else task_id,
+        parent_task_id=parent_task_id,
     )

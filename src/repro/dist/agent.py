@@ -40,6 +40,7 @@ import threading
 from typing import Any, Optional
 
 from repro.objectstore.store import LocalObjectStore
+from repro.obs import SpanRecorder
 from repro.proc import messages as msg
 from repro.proc.transport import PipeTransport, TcpTransport, Transport
 from repro.proc.worker import worker_main
@@ -120,6 +121,10 @@ class NodeAgent:
                     seed=config["seed"],
                 )
         self._known_segments: set = set()
+        #: The tracing plane's agent-side buffer: node-tier events
+        #: (seals, inter-node fetch serves, worker deaths), flushed on
+        #: the heartbeat cadence as CTRL SPANS frames.
+        self.obs = SpanRecorder(enabled=config.get("tracing", False))
         self._stop = threading.Event()
         self._heartbeat_thread = threading.Thread(
             target=self._heartbeat_loop,
@@ -146,6 +151,10 @@ class NodeAgent:
 
     def _teardown(self) -> None:
         self._stop.set()
+        try:
+            self._flush_spans()  # best effort: the link may be gone
+        except (OSError, EOFError):
+            pass
         for slot in self.slots.values():
             if slot.pid is not None:
                 try:
@@ -198,13 +207,23 @@ class NodeAgent:
             pass
         if self.shm is not None:
             self.shm.reclaim_client(slot.global_index + 1)
+        self.obs.record(
+            "worker_down", channel=slot.channel, index=slot.global_index
+        )
         self.link.send((ctl.CTRL, (ctl.WORKER_DOWN, slot.channel)))
+
+    def _flush_spans(self) -> None:
+        """Ship the agent's drained span buffer to the driver collector."""
+        blob = self.obs.drain()
+        if blob is not None:
+            self.link.send((ctl.CTRL, (ctl.SPANS, blob)))
 
     def _heartbeat_loop(self) -> None:
         interval = self.config.get("heartbeat_interval", 0.2)
         while not self._stop.is_set():
             try:
                 self.link.send((ctl.CTRL, (ctl.HEARTBEAT,)))
+                self._flush_spans()
             except (OSError, EOFError):
                 return  # link gone: the main loop owns teardown
             self._stop.wait(interval)
@@ -261,9 +280,15 @@ class NodeAgent:
                 except (OSError, ProcessLookupError):
                     pass
         elif tag == ctl.FETCH_OBJECT:
+            data = self._local_bytes(message[2])
+            if self.obs.enabled:
+                self.obs.record(
+                    "internode_serve",
+                    object_id=str(message[2]),
+                    size=0 if data is None else len(data),
+                )
             self.link.send(
-                (ctl.CTRL,
-                 (ctl.OBJECT_DATA, message[1], self._local_bytes(message[2])))
+                (ctl.CTRL, (ctl.OBJECT_DATA, message[1], data))
             )
         elif tag == ctl.DELETE_OBJECT:
             object_id = message[1]
@@ -295,6 +320,7 @@ class NodeAgent:
                 config["worker_cache_bytes"], self.shm is not None,
                 config["inline_threshold"], config["dispatch_mode"],
                 spawn_token, config["spillover_policy"],
+                config.get("tracing", False),
             ),
             name=f"repro-dist-worker-{self.node_index}-{channel}",
             daemon=True,
@@ -425,6 +451,12 @@ class NodeAgent:
         for blob in blobs:
             if isinstance(blob, msg.ShmDescriptor) and self.shm is not None:
                 if self.shm.seal(blob.object_id):
+                    if self.obs.enabled:
+                        self.obs.record(
+                            "shm_seal",
+                            object_id=str(blob.object_id),
+                            size=blob.size,
+                        )
                     rewritten.append(
                         ctl.NodeBlob(blob.object_id, self.node_index, blob.size)
                     )

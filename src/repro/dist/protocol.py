@@ -45,6 +45,11 @@ SEGMENTS = "segments"            # (SEGMENTS, [name, ...]): shm segment
                                  # names the node store has created so
                                  # far; the driver unlinks survivors of a
                                  # killed agent at shutdown
+SPANS = "spans"                  # (SPANS, obs_blob): the agent's own
+                                 # tracing-plane buffer, flushed on the
+                                 # heartbeat cadence (worker span blobs
+                                 # ride the worker channels instead and
+                                 # never take this tag)
 
 # -- driver -> agent ----------------------------------------------------
 SPAWN_WORKER = "spawn_worker"    # (SPAWN_WORKER, channel, global_index,

@@ -260,6 +260,17 @@ class AgentLink:
                 entry[0].set()
         elif tag == ctl.SEGMENTS:
             self.segments = list(message[1])
+        elif tag == ctl.SPANS:
+            # The agent's own tracing buffer, flushed on the heartbeat
+            # cadence.  Guarded with getattr: agents start before
+            # super().__init__ creates the collector.
+            obs = getattr(self.runtime, "_obs", None)
+            if obs is not None and obs.enabled:
+                obs.ingest(
+                    ("agent", self.node_index),
+                    message[1],
+                    extra={"node": f"node-{self.node_index}"},
+                )
 
     # -- death ----------------------------------------------------------
 
@@ -358,6 +369,7 @@ class DistRuntime(ProcRuntime):
         control_shards: int = 8,
         control_store: Any = None,
         recover: bool = False,
+        tracing: bool = False,
     ) -> None:
         cluster = cluster or ClusterSpec.uniform(num_nodes=2, num_cpus=2)
         num_nodes = cluster.num_nodes
@@ -417,6 +429,7 @@ class DistRuntime(ProcRuntime):
             "total_workers": num_nodes * workers_per_node,
             "store_capacity": cluster.nodes[0].object_store_capacity,
             "heartbeat_interval": self._heartbeat_interval,
+            "tracing": tracing,
         }
         try:
             self._start_agents(num_nodes, config)
@@ -435,6 +448,7 @@ class DistRuntime(ProcRuntime):
                 control_shards=control_shards,
                 control_store=control_store,
                 recover=recover,
+                tracing=tracing,
             )
         except BaseException:
             self._teardown_links()
@@ -534,6 +548,11 @@ class DistRuntime(ProcRuntime):
             for link in self._links:
                 if link.alive and now - link.last_beat > self._heartbeat_timeout:
                     self._heartbeat_timeouts += 1
+                    self._obs.record(
+                        "failure_detected",
+                        node=f"node-{link.node_index}",
+                        reason="heartbeat_timeout",
+                    )
                     link.kill()  # collapse silence onto the crash path
 
     def shutdown(self) -> None:
@@ -688,6 +707,7 @@ class DistRuntime(ProcRuntime):
             self._check_open()
             if not 0 <= index < len(self._links):
                 raise ValueError(f"no node with index {index}")
+        self._obs.record("node_killed", node=f"node-{index}")
         self._links[index].kill()
 
     def worker_pids(self) -> list:
@@ -709,6 +729,14 @@ class DistRuntime(ProcRuntime):
     def agent_pids(self) -> list:
         """PIDs of the live node agents (tests/tools)."""
         return [link.agent_pid for link in self._links if link.alive]
+
+    def _obs_worker_extra(self, worker) -> dict:
+        """Span identity on dist: the worker's slot and its *owning node*
+        (so chrome-trace pid tracks group by node, tid by worker)."""
+        return {
+            "worker": f"worker-{worker.index}",
+            "node": f"node-{worker.index // self._workers_per_node}",
+        }
 
     # ------------------------------------------------------------------
     # Results: NodeBlob residency
@@ -855,6 +883,13 @@ class DistRuntime(ProcRuntime):
                 with self._cond:
                     if not self._store.contains(object_id):
                         self._acct_internode.record_internode(len(data))
+                        self._obs.record(
+                            "internode_fetch",
+                            object_id=str(object_id),
+                            size=len(data),
+                            node=f"node-{node_index}",
+                            path="driver_pull",
+                        )
                         try:
                             self._store_bytes(object_id, data)
                         except ReproError:
@@ -878,6 +913,13 @@ class DistRuntime(ProcRuntime):
         # The reply crosses TCP into the consuming node (whose agent
         # caches it — this is the at-most-once-per-node transfer).
         self._acct_internode.record_internode(len(data))
+        self._obs.record(
+            "internode_fetch",
+            object_id=str(object_id),
+            size=len(data),
+            node=f"node-{worker.index // self._workers_per_node}",
+            path="worker_fetch",
+        )
         return data
 
     def _shm_attach(self, worker, object_id):

@@ -63,6 +63,7 @@ from repro.core.worker import (
 )
 from repro.errors import BackendError, GetTimeoutError
 from repro.gcs import ControlStore
+from repro.obs import SpanCollector
 from repro.scheduling.policies import PlacementPolicy, SpilloverPolicy, StealPolicy
 from repro.sched_plane import SchedCounters, WorkerCandidate, plan_placement
 from repro.utils.ids import ActorID, FunctionID, IDGenerator, NodeID, ObjectID
@@ -133,6 +134,7 @@ class LocalRuntime:
         spillover_policy: Optional[SpilloverPolicy] = None,
         steal_policy: Optional[StealPolicy] = None,
         control_shards: int = 8,
+        tracing: bool = False,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
         if not isinstance(control_shards, int) or control_shards < 1:
@@ -157,6 +159,11 @@ class LocalRuntime:
         self._spillover_policy = spillover_policy or SpilloverPolicy()
         self._steal_policy = steal_policy or StealPolicy()
         self._sched = SchedCounters()
+        #: The tracing plane (repro.obs).  Single process: every worker
+        #: thread records straight into the driver collector (one clock,
+        #: zero skew), exposed through the ``event_log`` property.
+        self.tracing = bool(tracing)
+        self._obs = SpanCollector(enabled=self.tracing)
         self.ids = IDGenerator(namespace=f"repro-local/{seed}")
         self.closed = False
         self._control = ControlStore(num_shards=control_shards)
@@ -232,6 +239,7 @@ class LocalRuntime:
             max_reconstructions=max_reconstructions,
         )
         check_cluster_feasible(self.cluster, options.resources, function_name)
+        parent_task_id = getattr(self._tls, "cur_task", None)
         spec = build_task_spec(
             self.ids,
             function=function,
@@ -241,6 +249,8 @@ class LocalRuntime:
             kwargs=kwargs or {},
             options=options,
             submitted_from=self._current_node_id(),
+            root_task_id=getattr(self._tls, "cur_root", None),
+            parent_task_id=parent_task_id,
         )
         self._submit_spec(spec)
         return spec.public_result()
@@ -252,6 +262,19 @@ class LocalRuntime:
             self._control.task_put(
                 spec.task_id, spec, node=self._current_node_id()
             )
+            if self._obs.enabled:
+                self._obs.record(
+                    "task_submitted",
+                    task_id=str(spec.task_id),
+                    function=spec.function_name,
+                    root_task_id=str(spec.root_task_id or spec.task_id),
+                    parent_task_id=(
+                        str(spec.parent_task_id)
+                        if spec.parent_task_id is not None
+                        else None
+                    ),
+                    worker_born=getattr(self._tls, "node", None) is not None,
+                )
             self._lifecycle.register(spec)
             missing = {
                 dep for dep in spec.dependencies() if dep not in self._objects
@@ -422,6 +445,11 @@ class LocalRuntime:
         """Wall-clock seconds (monotonic)."""
         return time.monotonic()
 
+    @property
+    def event_log(self):
+        """The collected live trace (None unless ``tracing=True``)."""
+        return self._obs.event_log
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -432,6 +460,7 @@ class LocalRuntime:
                 "tasks_cancelled": self._lifecycle.cancelled_count,
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
+                "obs": self._obs.stats(),
                 "serve": serve_stats(self._serve_pools, self._completions),
                 "control": self._control.stats(),
                 # Cluster view with the dist backend's keys.  Threads share
@@ -512,6 +541,13 @@ class LocalRuntime:
             node = self._place_bottom_up(spec)
         else:
             node = self._choose_node(spec)
+        if self._obs.enabled:
+            self._obs.record(
+                "task_placed",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                node=str(node.node_id),
+            )
         node.pending.append(spec)
         self._dispatch(node)
 
@@ -673,6 +709,14 @@ class LocalRuntime:
             return
         stolen.reverse()  # preserve submission order at the new home
         self._sched.tasks_stolen += len(stolen)
+        if self._obs.enabled:
+            for spec in stolen:
+                self._obs.record(
+                    "task_stolen",
+                    task_id=str(spec.task_id),
+                    thief=str(thief.node_id),
+                    victim=str(victim.node_id),
+                )
         thief.pending.extend(stolen)
         self._dispatch(thief)
 
@@ -680,11 +724,35 @@ class LocalRuntime:
         with self._lock:
             if self._lifecycle.is_cancelled(spec.task_id):
                 return  # cancelled while queued: never execute user code
-        args, kwargs, upstream_error = self._resolve_args(spec)
-        if upstream_error is not None:
-            result: Any = propagate_error(upstream_error, spec)
-        else:
-            result = self._execute(spec, args, kwargs)
+        root_id = spec.root_task_id or spec.task_id
+        t_start = time.monotonic()
+        if self._obs.enabled:
+            self._obs.record(
+                "task_started",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                worker=threading.current_thread().name,
+                node=str(node.node_id),
+                root_task_id=str(root_id),
+                parent_task_id=(
+                    str(spec.parent_task_id)
+                    if spec.parent_task_id is not None
+                    else None
+                ),
+            )
+        prev_ctx = (
+            getattr(self._tls, "cur_task", None),
+            getattr(self._tls, "cur_root", None),
+        )
+        self._tls.cur_task, self._tls.cur_root = spec.task_id, root_id
+        try:
+            args, kwargs, upstream_error = self._resolve_args(spec)
+            if upstream_error is not None:
+                result: Any = propagate_error(upstream_error, spec)
+            else:
+                result = self._execute(spec, args, kwargs)
+        finally:
+            self._tls.cur_task, self._tls.cur_root = prev_ctx
         datas = []
         for value in split_result_values(spec, result):
             try:
@@ -692,6 +760,16 @@ class LocalRuntime:
             except TypeError as exc:
                 datas.append(serialize(error_value_from(spec, exc)))
         self._store_results(spec, datas)
+        if self._obs.enabled:
+            self._obs.record(
+                "task_finished",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                worker=threading.current_thread().name,
+                node=str(node.node_id),
+                duration=time.monotonic() - t_start,
+                failed=isinstance(result, ErrorValue),
+            )
 
     def _store_results(self, spec: TaskSpec, datas: list) -> None:
         """Store all return slots atomically; discard if cancelled mid-run."""
@@ -699,6 +777,13 @@ class LocalRuntime:
             if self._lifecycle.is_cancelled(spec.task_id):
                 return  # the cancellation marker owns the slots
             self._control.async_task_update(spec.task_id, state="finished")
+            if self._obs.enabled:
+                self._obs.record(
+                    "result_stored",
+                    task_id=str(spec.task_id),
+                    function=spec.function_name,
+                    num_returns=spec.num_returns,
+                )
             for object_id, data in zip(spec.all_return_ids(), datas):
                 self._objects[object_id] = data
                 self._control.async_object_put(

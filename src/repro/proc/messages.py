@@ -107,6 +107,18 @@ STEAL_GRANT = "steal_grant"  # (STEAL_GRANT, [task_id, ...]): the worker
                              # re-homes the tasks from its mirror.  May
                              # be empty (nothing left to give).
 
+# -- the tracing plane (init(..., tracing=True)) ------------------------
+# Span records normally piggyback on messages the worker already sends:
+# DONE, RESULT, and IDLE each grow one OPTIONAL trailing element — an
+# "obs blob" (send_monotonic, [(t, kind, payload), ...], dropped_total)
+# appended only when the worker's SpanRecorder has something to flush.
+# Receivers index those messages positionally from the front, so the
+# trailing element is invisible to tracing-unaware paths (including the
+# dist agent's blob rewrite, which preserves trailing elements).  A
+# buffer that grows large mid-session (or the final flush at SHUTDOWN)
+# rides this dedicated one-way frame instead:
+SPANS = "spans"  # (SPANS, obs_blob): worker -> driver, never replied to
+
 # driver -> worker:
 STEAL_REQUEST = "steal_request"  # (STEAL_REQUEST, max_count): an idle
                                  # worker wants work; answer with a

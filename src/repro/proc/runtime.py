@@ -110,6 +110,7 @@ from repro.errors import (
 )
 from repro.gcs import ControlStore, plan_recovery
 from repro.objectstore.store import LocalObjectStore
+from repro.obs import SpanCollector
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
 from repro.proc.transport import PipeTransport
@@ -247,6 +248,7 @@ class ProcRuntime:
         control_shards: int = 8,
         control_store: Optional[ControlStore] = None,
         recover: bool = False,
+        tracing: bool = False,
     ) -> None:
         self.cluster = cluster or ClusterSpec.uniform(num_nodes=1, num_cpus=4)
         if dispatch_mode not in DISPATCH_MODES:
@@ -321,6 +323,11 @@ class ProcRuntime:
         self._steal_policy = steal_policy or StealPolicy()
         self._residency = ResidencyTracker()
         self._sched = SchedCounters()
+        #: The tracing plane (repro.obs): driver-local spans plus every
+        #: worker's flushed buffers, merged onto one wall-clock timeline
+        #: the R7 tools consume through the ``event_log`` property.
+        self.tracing = bool(tracing)
+        self._obs = SpanCollector(enabled=self.tracing)
         #: Worker-born task payloads by task id (from SUBMIT_LOCAL
         #: notices): what a thief executes and what crash replay reships.
         self._payloads: dict[Any, dict] = {}
@@ -412,6 +419,8 @@ class ProcRuntime:
         duration: Any = _UNSET,        # modeled durations are a sim concept
         placement_hint: Any = _UNSET,
         max_reconstructions: Optional[int] = None,
+        root_task_id: Any = None,
+        parent_task_id: Any = None,
     ) -> Any:
         self._check_open()
         options = resolve_task_options(
@@ -430,6 +439,8 @@ class ProcRuntime:
                 kwargs=kwargs or {},
                 options=options,
                 submitted_from=self.head_node_id,
+                root_task_id=root_task_id,
+                parent_task_id=parent_task_id,
             )
             self._submit_spec(spec)
             return spec.public_result()
@@ -442,6 +453,19 @@ class ProcRuntime:
         any later point finds the spec in the task table and can replay.
         """
         self._control.task_put(spec.task_id, spec, node=self.head_node_id)
+        if self._obs.enabled:
+            self._obs.record(
+                "task_submitted",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                root_task_id=str(spec.root_task_id or spec.task_id),
+                parent_task_id=(
+                    str(spec.parent_task_id)
+                    if spec.parent_task_id is not None
+                    else None
+                ),
+                worker_born=False,
+            )
         self._lifecycle.register(spec)
         missing = {
             dep for dep in spec.dependencies() if not self._has_object(dep)
@@ -465,6 +489,7 @@ class ProcRuntime:
             home = self._by_node.get(record.node_id) if record is not None else None
             if record is not None and not record.dead and home is not None and home.alive:
                 home.pinned.append(spec)
+                self._obs_placed(spec, home)
                 return
             # Dead/unknown actor: any service thread may resolve it to an
             # error through the pre-dispatch check.
@@ -472,6 +497,20 @@ class ProcRuntime:
             self._place_bottom_up(spec)
             return
         self._queue.append(spec)
+        self._obs_placed(spec, None)
+
+    def _obs_placed(
+        self, spec: TaskSpec, home: Optional[_WorkerHandle]
+    ) -> None:
+        """One driver-tier placement span (lock held); ``home=None`` means
+        the global spillover queue, drained by whichever worker idles."""
+        if self._obs.enabled:
+            self._obs.record(
+                "task_placed",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                worker=None if home is None else f"worker-{home.index}",
+            )
 
     def _place_bottom_up(self, spec: TaskSpec) -> None:
         """The driver tier's placement decision (lock held): score every
@@ -507,8 +546,10 @@ class ProcRuntime:
         home = self._by_node.get(chosen) if chosen is not None else None
         if home is None or not home.alive:
             self._queue.append(spec)
+            self._obs_placed(spec, None)
             return
         home.placed.append(spec)
+        self._obs_placed(spec, home)
 
     # ------------------------------------------------------------------
     # Actor protocol
@@ -744,6 +785,13 @@ class ProcRuntime:
         """Wall-clock seconds (monotonic)."""
         return time.monotonic()
 
+    @property
+    def event_log(self):
+        """The collected live trace (None unless ``tracing=True``); the
+        same :class:`~repro.store.event_log.EventLog` shape as the sim's,
+        so the R7 tools consume either interchangeably."""
+        return self._obs.event_log
+
     def stats(self) -> dict:
         with self._cond:
             return {
@@ -765,6 +813,7 @@ class ProcRuntime:
                 "shm_store": None if self._shm is None else self._shm.stats(),
                 "dispatch_mode": self.dispatch_mode,
                 "sched": self._sched.snapshot(),
+                "obs": self._obs.stats(),
                 "serve": serve_stats(self._serve_pools, self._completions),
                 "control": self._control.stats(),
                 # Degenerate one-node cluster view: same keys as the dist
@@ -1015,6 +1064,7 @@ class ProcRuntime:
                 child_conn, index, self.seed, self._worker_cache_bytes,
                 self._shm is not None, self._inline_threshold,
                 self.dispatch_mode, self._spawn_count, self._spillover_policy,
+                self.tracing,
             ),
             name=f"repro-proc-worker-{index}",
             daemon=True,
@@ -1255,7 +1305,16 @@ class ProcRuntime:
         if victim is None:
             return None
         self._sched.tasks_stolen += 1
-        return victim.placed.popleft()
+        spec = victim.placed.popleft()
+        if self._obs.enabled:
+            self._obs.record(
+                "task_stolen",
+                task_id=str(spec.task_id),
+                thief=f"worker-{thief.index}",
+                victim=f"worker-{victim.index}",
+                wire=False,
+            )
+        return spec
 
     def _request_remote_steal(
         self, thief: _WorkerHandle, include_self: bool = False
@@ -1306,14 +1365,33 @@ class ProcRuntime:
         (an rpc request, or IDLE — the callers' loop-exit conditions)."""
         tag = message[0]
         if tag == msg.DONE:
+            if len(message) > 4:  # optional trailing obs blob
+                self._ingest_worker_obs(worker, message[4])
             self._finish_done(worker, message[1], message[2], message[3])
         elif tag == msg.SUBMIT_LOCAL:
             self._register_local_submit(worker, message[1])
         elif tag == msg.STEAL_GRANT:
             self._apply_steal_grant(worker, message[1])
+        elif tag == msg.SPANS:
+            self._ingest_worker_obs(worker, message[1])
         else:
             return False
         return True
+
+    def _obs_worker_extra(self, worker: _WorkerHandle) -> dict:
+        """Identity keys stamped onto spans a worker recorded about
+        itself (it does not know its driver-side names).  The dist
+        backend overrides this to name the worker's real node."""
+        return {"worker": f"worker-{worker.index}", "node": "node-0"}
+
+    def _ingest_worker_obs(self, worker: _WorkerHandle, blob: Any) -> None:
+        """Merge one worker's flushed span buffer onto the timeline."""
+        if blob is not None and self._obs.enabled:
+            self._obs.ingest(
+                ("worker", worker.index),
+                blob,
+                extra=self._obs_worker_extra(worker),
+            )
 
     def _fail_payload(
         self, worker: _WorkerHandle, spec: TaskSpec, exc: BaseException
@@ -1342,6 +1420,8 @@ class ProcRuntime:
             if self._handle_async_report(worker, message):
                 continue
             if message[0] == msg.IDLE:
+                if len(message) > 1:  # optional trailing obs blob
+                    self._ingest_worker_obs(worker, message[1])
                 with self._cond:
                     worker.busy = False
                     self._cond.notify_all()
@@ -1368,6 +1448,8 @@ class ProcRuntime:
                     resources=notice["resources"],
                     submitted_from=notice["submitted_from"],
                     max_reconstructions=notice["max_reconstructions"],
+                    root_task_id=notice.get("root_task_id"),
+                    parent_task_id=notice.get("parent_task_id"),
                 )
                 self._lifecycle.register(spec)
                 worker.mirror.push(spec.task_id, spec)
@@ -1399,6 +1481,13 @@ class ProcRuntime:
                     self._payloads.pop(task_id, None)
                     continue
                 self._sched.tasks_stolen += 1
+                if self._obs.enabled:
+                    self._obs.record(
+                        "task_stolen",
+                        task_id=str(task_id),
+                        victim=f"worker-{victim.index}",
+                        wire=True,
+                    )
                 self._control.async_task_update(task_id, state="stolen")
                 self._queue.append(spec)
             self._cond.notify_all()
@@ -1466,8 +1555,13 @@ class ProcRuntime:
         while True:
             message = worker.conn.recv()
             if message[0] == msg.RESULT:
+                if len(message) > 3:  # optional trailing obs blob
+                    self._ingest_worker_obs(worker, message[3])
                 self._finish_task(worker, spec, message[1], failed=message[2])
                 return
+            if message[0] == msg.SPANS:
+                self._ingest_worker_obs(worker, message[1])
+                continue
             self._serve_rpc(worker, message)
 
     def _dispatch_nested(self, worker: _WorkerHandle, spec: TaskSpec) -> None:
@@ -1490,6 +1584,8 @@ class ProcRuntime:
             self._flush_outbox(worker)
             message = worker.conn.recv()
             if message[0] == msg.DONE and message[1] == spec.task_id:
+                if len(message) > 4:  # optional trailing obs blob
+                    self._ingest_worker_obs(worker, message[4])
                 self._finish_done(worker, message[1], message[2], message[3])
                 return
             if not self._handle_async_report(worker, message):
@@ -1553,6 +1649,8 @@ class ProcRuntime:
             "return_object_id": spec.return_object_id,
             "return_object_ids": spec.all_return_ids(),
             "num_returns": spec.num_returns,
+            "root_task_id": spec.root_task_id,
+            "parent_task_id": spec.parent_task_id,
             "call_bytes": serialize_portable((args_template, kwargs_template)),
             "inline": inline,
         }
@@ -1631,6 +1729,10 @@ class ProcRuntime:
                 # wrote it through its own mapping): publish it.
                 self._shm.seal(object_id)
                 self._acct_shm.record_zero_copy(data.size)
+                if self._obs.enabled:
+                    self._obs.record(
+                        "shm_seal", object_id=str(object_id), size=data.size
+                    )
                 self._object_arrived(object_id)
                 continue
             try:
@@ -1640,6 +1742,15 @@ class ProcRuntime:
                 self._store_bytes(
                     object_id, serialize(error_value_from(spec, exc))
                 )
+        if self._obs.enabled:
+            self._obs.record(
+                "result_stored",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                worker=f"worker-{worker.index}",
+                num_returns=spec.num_returns,
+                failed=failed,
+            )
 
     # ------------------------------------------------------------------
     # Worker request service
@@ -1712,6 +1823,13 @@ class ProcRuntime:
                     f"object {object_id} is not resident in the driver store"
                 )
             self._acct_fetched.record(len(data))
+            if self._obs.enabled:
+                self._obs.record(
+                    "object_fetch",
+                    object_id=str(object_id),
+                    size=len(data),
+                    worker=f"worker-{worker.index}",
+                )
             # The worker caches what it fetches: from here on the object
             # is locality-resident there.
             self._residency.record(worker.index, object_id, len(data))
@@ -1780,6 +1898,13 @@ class ProcRuntime:
                 )
             size = self._shm.size_of(object_id) or 0
             self._acct_shm.record_zero_copy(size)
+            if self._obs.enabled:
+                self._obs.record(
+                    "shm_seal",
+                    object_id=str(object_id),
+                    size=size,
+                    worker=f"worker-{worker.index}",
+                )
             self._residency.record(worker.index, object_id, size)
             self._object_arrived(object_id)
         return ObjectRef(object_id)
@@ -1937,6 +2062,10 @@ class ProcRuntime:
             # the paper's spillover stream into the driver tier.
             with self._cond:
                 self._sched.tasks_spilled += 1
+                if self._obs.enabled:
+                    self._obs.record(
+                        "task_spilled", function=payload["function_name"]
+                    )
         return self.submit_task(
             function=function,
             function_id=self.ids.function_id(),
@@ -1944,6 +2073,8 @@ class ProcRuntime:
             args=args,
             kwargs=kwargs,
             options=payload["options"],
+            root_task_id=payload.get("root_task_id"),
+            parent_task_id=payload.get("parent_task_id"),
         )
 
     def _create_actor_from_worker(self, payload: dict) -> ActorHandle:
@@ -2093,6 +2224,13 @@ class ProcRuntime:
             worker.steal_outstanding = False
             self._residency.forget_holder(worker.index)
             self._workers_crashed += 1
+            if self._obs.enabled:
+                self._obs.record(
+                    "failure_detected",
+                    worker=f"worker-{worker.index}",
+                    node=str(worker.node_id),
+                    reason="worker_crashed",
+                )
             self._by_node.pop(worker.node_id, None)
             try:
                 worker.conn.close()
@@ -2163,6 +2301,13 @@ class ProcRuntime:
         if self._crash_policy == "replace" and attempts < spec.max_reconstructions:
             self._replays[spec.task_id] = attempts + 1
             self._lineage_replays += 1
+            if self._obs.enabled:
+                self._obs.record(
+                    "lineage_replay",
+                    task_id=str(spec.task_id),
+                    function=spec.function_name,
+                    attempt=attempts + 1,
+                )
             self._control.async_task_update(
                 spec.task_id, state="replaying", attempt=True
             )

@@ -60,6 +60,7 @@ from repro.core.worker import (
 )
 from repro.errors import ReproError
 from repro.objectstore.store import LocalObjectStore
+from repro.obs import SpanRecorder
 from repro.proc import messages as msg
 from repro.proc.messages import ShmDescriptor, SlotRef
 from repro.proc.transport import ensure_transport
@@ -165,6 +166,10 @@ class WorkerRuntime:
             # ``duration`` may be a closure (a sim-only concept anyway):
             # strip it so the payload stays plain-picklable on the pipe.
             "options": options.merged(duration=None),
+            # Trace context rides along so the spill path keeps the
+            # nested submission inside its driver-born request's tree.
+            "root_task_id": self._worker._cur_root,
+            "parent_task_id": self._worker._cur_task,
         }
         return self._worker.rpc(msg.SUBMIT, payload)
 
@@ -265,6 +270,7 @@ class ProcWorker:
         dispatch_mode: str = "driver",
         spawn_token: int = 0,
         spillover_policy: Optional[SpilloverPolicy] = None,
+        tracing: bool = False,
     ) -> None:
         # Spawn ships a raw pipe Connection (the only picklable channel);
         # everything below talks the Transport surface.
@@ -336,6 +342,17 @@ class ProcWorker:
         #: ``finally`` so zero-copy views stay valid for the task's
         #: whole lifetime.
         self._shm_holds: list[list] = []
+        #: The tracing plane's per-process buffer (no-op unless
+        #: ``tracing=True`` was threaded down from init).  Flushed as a
+        #: trailing element on DONE/RESULT/IDLE and, when large, as a
+        #: dedicated SPANS frame at the next rpc.
+        self.obs = SpanRecorder(enabled=tracing)
+        #: Trace context of the innermost executing task (saved/restored
+        #: around reentrant execute() calls): nested submissions inherit
+        #: the current root so a span tree reconstructs per driver-born
+        #: request, worker-born fast-path tasks included.
+        self._cur_task: Any = None
+        self._cur_root: Any = None
 
     # ------------------------------------------------------------------
     # Shared-memory plumbing
@@ -364,6 +381,12 @@ class ProcWorker:
                     self._hold_descriptor(blob)
                     value = deserialize_frame(self.shm.read(blob.segment, blob.slot))
                     self.note_shm(blob)
+                    if self.obs.enabled:
+                        self.obs.record(
+                            "shm_fetch",
+                            object_id=str(blob.object_id),
+                            size=blob.size,
+                        )
                     return value
                 except OSError:
                     pass
@@ -443,6 +466,8 @@ class ProcWorker:
         resumes.  This is the proc analogue of blocked sim workers
         releasing their resource slots (R3)."""
         self._flush_notices()
+        if self.obs.should_flush():
+            self._flush_spans()
         self.conn.send((tag,) + parts)
         while True:
             reply = self.conn.recv()
@@ -451,15 +476,51 @@ class ProcWorker:
                 data, failed = self.execute(payload)
                 if self.dispatch_mode == "bottom_up":
                     self._flush_notices()
-                    self.conn.send((msg.DONE, payload["task_id"], data, failed))
+                    self._send_done(payload["task_id"], data, failed)
                 else:
-                    self.conn.send((msg.RESULT, data, failed))
+                    self._send_result(data, failed)
                 continue
             if self._handle_control(reply):
                 continue
             if reply[0] == msg.ERR:
                 raise reply[1]
             return reply[1]
+
+    # ------------------------------------------------------------------
+    # Tracing-aware sends
+    # ------------------------------------------------------------------
+    # The recorder piggybacks on messages the worker sends anyway: DONE /
+    # RESULT / IDLE grow an optional trailing obs blob (receivers index
+    # from the front, so tracing-off wire shapes are byte-identical).
+    # With tracing off, drain() returns None and these collapse to the
+    # plain sends.
+
+    def _send_done(self, task_id, data, failed) -> None:
+        blob = self.obs.drain()
+        if blob is not None:
+            self.conn.send((msg.DONE, task_id, data, failed, blob))
+        else:
+            self.conn.send((msg.DONE, task_id, data, failed))
+
+    def _send_result(self, data, failed) -> None:
+        blob = self.obs.drain()
+        if blob is not None:
+            self.conn.send((msg.RESULT, data, failed, blob))
+        else:
+            self.conn.send((msg.RESULT, data, failed))
+
+    def _send_idle(self) -> None:
+        blob = self.obs.drain()
+        if blob is not None:
+            self.conn.send((msg.IDLE, blob))
+        else:
+            self.conn.send((msg.IDLE,))
+
+    def _flush_spans(self) -> None:
+        """Ship buffered spans on a dedicated one-way SPANS frame."""
+        blob = self.obs.drain()
+        if blob is not None:
+            self.conn.send((msg.SPANS, blob))
 
     # ------------------------------------------------------------------
     # Main loop
@@ -479,10 +540,11 @@ class ProcWorker:
                 message = self.conn.recv()
                 tag = message[0]
                 if tag == msg.SHUTDOWN:
+                    self._flush_spans()  # final flush: nothing else will
                     return
                 if tag == msg.TASK:
                     data, failed = self.execute(message[1])
-                    self.conn.send((msg.RESULT, data, failed))
+                    self._send_result(data, failed)
         except (EOFError, OSError, KeyboardInterrupt):
             return  # driver went away (shutdown or crash): just exit
         finally:
@@ -522,10 +584,10 @@ class ProcWorker:
                 task_id, payload = entry
                 data, failed = self.execute(payload)
                 self._flush_notices()
-                self.conn.send((msg.DONE, task_id, data, failed))
+                self._send_done(task_id, data, failed)
                 continue
             self._flush_notices()  # nothing runnable, but notices may wait
-            self.conn.send((msg.IDLE,))
+            self._send_idle()
             if not self._idle_until_task():
                 return
 
@@ -542,12 +604,13 @@ class ProcWorker:
             message = self.conn.recv()
             tag = message[0]
             if tag == msg.SHUTDOWN:
+                self._flush_spans()  # final flush: nothing else will
                 return False
             if tag == msg.TASK:
                 payload = message[1]
                 data, failed = self.execute(payload)
                 self._flush_notices()
-                self.conn.send((msg.DONE, payload["task_id"], data, failed))
+                self._send_done(payload["task_id"], data, failed)
                 return True
             if not self._handle_control(message):
                 raise RuntimeError(f"unexpected driver message {tag!r} while idle")
@@ -617,6 +680,8 @@ class ProcWorker:
             kwargs=kwargs,
             options=options.merged(duration=None),
             submitted_from=self.node_id,
+            root_task_id=self._cur_root,
+            parent_task_id=self._cur_task,
         )
         if self.spillover.should_spill(
             spec,
@@ -641,9 +706,29 @@ class ProcWorker:
                 "resources": spec.resources,
                 "max_reconstructions": spec.max_reconstructions,
                 "submitted_from": self.node_id,
+                "root_task_id": spec.root_task_id,
+                "parent_task_id": spec.parent_task_id,
             }
         )
         self.local_queue.push(spec.task_id, payload)
+        if self.obs.enabled:
+            # Worker-born fast-path tasks get their submitted/placed
+            # spans here — the driver never sees the submission itself,
+            # only the (batched, async) notice.
+            self.obs.record(
+                "task_submitted",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                root_task_id=str(spec.root_task_id),
+                parent_task_id=str(spec.parent_task_id),
+                worker_born=True,
+            )
+            self.obs.record(
+                "task_placed",
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                local=True,
+            )
         return spec.public_result()
 
     def _flush_notices(self) -> None:
@@ -692,6 +777,8 @@ class ProcWorker:
             ),
             "inline": {},
             "function_bytes": self.function_bytes(function),
+            "root_task_id": spec.root_task_id,
+            "parent_task_id": spec.parent_task_id,
         }
 
     # ------------------------------------------------------------------
@@ -715,17 +802,42 @@ class ProcWorker:
             num_returns=payload.get("num_returns", 1),
             actor_id=payload.get("actor_id"),
             actor_method=payload.get("method"),
+            root_task_id=payload.get("root_task_id"),
+            parent_task_id=payload.get("parent_task_id"),
         )
+        root_id = (
+            spec.root_task_id if spec.root_task_id is not None else spec.task_id
+        )
+        t_start = time.monotonic()
+        if self.obs.enabled:
+            self.obs.record(
+                "task_started",
+                timestamp=t_start,
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                root_task_id=str(root_id),
+                parent_task_id=(
+                    str(spec.parent_task_id)
+                    if spec.parent_task_id is not None
+                    else None
+                ),
+            )
         pinned: list = []
         holds: list = []
         self._shm_holds.append(holds)
+        # Reentrant execute() (an actor task injected while this task is
+        # blocked in rpc) must not inherit the outer task's context.
+        prev_ctx = (self._cur_task, self._cur_root)
+        self._cur_task, self._cur_root = spec.task_id, root_id
         try:
             try:
                 args, kwargs, upstream = self._resolve_call(payload, pinned)
             except ReproError as exc:
                 # An argument could not be materialized (e.g. lost in the
                 # driver store): the task must still produce a result.
-                return self._pack(spec, error_value_from(spec, exc))
+                return self._finish_obs(
+                    spec, t_start, self._pack(spec, error_value_from(spec, exc))
+                )
             if upstream is not None:
                 result = propagate_error(upstream, spec)
             elif spec.actor_id is not None:
@@ -733,13 +845,27 @@ class ProcWorker:
             else:
                 result = self._execute_function(spec, payload, args, kwargs)
             self.tasks_executed += 1
-            return self._pack(spec, result)
+            return self._finish_obs(spec, t_start, self._pack(spec, result))
         finally:
+            self._cur_task, self._cur_root = prev_ctx
             for object_id in pinned:
                 self.cache.unpin(object_id)
             self._shm_holds.pop()
             for segment, slot in holds:
                 self.shm.release(segment, slot)
+
+    def _finish_obs(self, spec: TaskSpec, t_start: float, packed: tuple) -> tuple:
+        if self.obs.enabled:
+            end = time.monotonic()
+            self.obs.record(
+                "task_finished",
+                timestamp=end,
+                task_id=str(spec.task_id),
+                function=spec.function_name,
+                duration=end - t_start,
+                failed=packed[1],
+            )
+        return packed
 
     def _pack(self, spec: TaskSpec, result: Any) -> tuple:
         """Serialize a result into ``([blob, ...], failed)``: one entry
@@ -891,6 +1017,7 @@ def worker_main(
     dispatch_mode: str = "driver",
     spawn_token: int = 0,
     spillover_policy: Optional[SpilloverPolicy] = None,
+    tracing: bool = False,
 ) -> None:
     """Entry point of a worker child process (importable for spawn)."""
     ProcWorker(
@@ -903,4 +1030,5 @@ def worker_main(
         dispatch_mode=dispatch_mode,
         spawn_token=spawn_token,
         spillover_policy=spillover_policy,
+        tracing=tracing,
     ).run()

@@ -360,6 +360,11 @@ class ActorPool:
             return
         if self._admission == "shed":
             self._shed += 1
+            self._obs_record(
+                "serve_shed",
+                depth=self._inflight_total,
+                cap=self._max_queue_depth,
+            )
             raise Backpressure(
                 f"in-flight depth {self._inflight_total} at cap "
                 f"{self._max_queue_depth}"
@@ -378,6 +383,13 @@ class ActorPool:
                         "ActorPool admission cap smaller than one batch"
                     )
                 self._sim_resolve(self._order.popleft())
+
+    def _obs_record(self, kind: str, **payload: Any) -> None:
+        """Serving-plane span, when the runtime has a live collector
+        (``tracing=True`` on a real backend); no-op everywhere else."""
+        obs = getattr(self._runtime, "_obs", None)
+        if obs is not None:
+            obs.record(kind, **payload)
 
     def _pick_replica_locked(self) -> _Replica:
         n = len(self._replicas)
@@ -433,6 +445,7 @@ class ActorPool:
         refs = method.remote(values)
         self._batches += 1
         self._largest_batch = max(self._largest_batch, k)
+        self._obs_record("serve_batch_flush", batch_size=k, replica=replica.slot)
         if k == 1:
             # num_returns=1 stores the whole 1-element result list in
             # the single slot; unwrap index 0 recovers the call's value.

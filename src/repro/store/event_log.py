@@ -9,6 +9,7 @@ exactly what the system did and when.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -27,10 +28,26 @@ class EventRecord:
 
 
 class EventLog:
-    """In-memory append-only log with simple filtering."""
+    """In-memory append-only log with simple filtering.
 
-    def __init__(self) -> None:
-        self._records: list[EventRecord] = []
+    By default the log grows without bound — the sim's determinism
+    tests depend on seeing every record.  ``max_records`` turns on ring
+    mode for long-lived live runs: the log keeps only the newest
+    ``max_records`` entries and counts evictions in :attr:`dropped`
+    (surfaced by the tracing plane as ``stats()["obs"]["spans_dropped"]``).
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                f"max_records must be None or >= 1, got {max_records!r}"
+            )
+        self.max_records = max_records
+        self._records: Any = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        #: Records evicted by ring mode (always 0 in unbounded mode).
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -40,6 +57,11 @@ class EventLog:
 
     def append(self, timestamp: float, kind: str, **payload: Any) -> None:
         """Record an event at a virtual (or wall-clock) timestamp."""
+        if (
+            self.max_records is not None
+            and len(self._records) >= self.max_records
+        ):
+            self.dropped += 1  # deque maxlen evicts the oldest on append
         self._records.append(EventRecord(timestamp, kind, payload))
 
     def filter(
